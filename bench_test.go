@@ -1,0 +1,338 @@
+package maprat
+
+// One benchmark per experiment in DESIGN.md's index (E1–E9), mirroring the
+// workloads of internal/bench so `go test -bench=.` regenerates the
+// latency side of every figure/claim. Benchmarks default to the small
+// (80k-rating) dataset so the suite stays minutes-fast; set
+// MAPRAT_BENCH_SCALE=full for the MovieLens-1M scale the paper demos on
+// (cmd/maprat-bench always uses full scale).
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cube"
+	"repro/internal/query"
+	"repro/internal/viz"
+)
+
+var (
+	benchOnce sync.Once
+	benchEng  *Engine
+)
+
+func benchEngine(b *testing.B) *Engine {
+	b.Helper()
+	benchOnce.Do(func() {
+		cfg := SmallGenConfig()
+		if os.Getenv("MAPRAT_BENCH_SCALE") == "full" {
+			cfg = DefaultGenConfig()
+		}
+		ds, err := Generate(cfg)
+		if err != nil {
+			panic(err)
+		}
+		benchEng, err = Open(ds, nil)
+		if err != nil {
+			panic(err)
+		}
+	})
+	return benchEng
+}
+
+func benchQuery(b *testing.B, e *Engine, s string) Query {
+	b.Helper()
+	q, err := e.ParseQuery(s)
+	if err != nil {
+		b.Fatalf("parse %q: %v", s, err)
+	}
+	return q
+}
+
+// BenchmarkE1_QueryResolution measures Figure 1's query forms: parse,
+// resolve to items, gather R_I.
+func BenchmarkE1_QueryResolution(b *testing.B) {
+	e := benchEngine(b)
+	cases := []struct {
+		name string
+		q    string
+	}{
+		{"title", `movie:"Toy Story"`},
+		{"actor", `actor:"Tom Hanks"`},
+		{"conjunction", `director:"Steven Spielberg" AND genre:Thriller`},
+		{"disjunction", `movie:"The Lord of the Rings: The Two Towers" OR movie:"Jaws"`},
+		{"genre", `genre:Animation`},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			q := benchQuery(b, e, c.q)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ids, err := query.Resolve(e.Store(), q)
+				if err != nil || len(ids) == 0 {
+					b.Fatalf("resolve: %v (%d items)", err, len(ids))
+				}
+				tuples := e.Store().TuplesForItems(ids, q.Window)
+				if len(tuples) == 0 {
+					b.Fatal("no tuples")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE2_SimilarityMining measures the Figure-2 pipeline end to end
+// (resolve → cube → RHE), cache disabled.
+func BenchmarkE2_SimilarityMining(b *testing.B) {
+	e := benchEngine(b)
+	q := benchQuery(b, e, `movie:"Toy Story"`)
+	req := ExplainRequest{Query: q, Tasks: []Task{SimilarityMining}, DisableCache: true}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Explain(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE3_Exploration measures the Figure-3 drill-down (stats,
+// cities, timeline, related groups).
+func BenchmarkE3_Exploration(b *testing.B) {
+	e := benchEngine(b)
+	q := benchQuery(b, e, `movie:"Toy Story"`)
+	ex, err := e.Explain(ExplainRequest{Query: q, Tasks: []Task{SimilarityMining}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	key := ex.Result(SimilarityMining).Groups[0].Key
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := e.ExploreGroup(q, key, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE4_DiversityMining measures the intro example: framework-mode
+// DM on the polarized title.
+func BenchmarkE4_DiversityMining(b *testing.B) {
+	e := benchEngine(b)
+	q := benchQuery(b, e, `movie:"The Twilight Saga: Eclipse"`)
+	s := DefaultSettings()
+	s.K = 2
+	s.Coverage = 0.10
+	free := cube.Config{RequireState: false, MinSupport: 10, MaxAVPairs: 2, SkipApex: true}
+	req := ExplainRequest{
+		Query: q, Settings: s, Tasks: []Task{DiversityMining},
+		CubeConfig: &free, DisableCache: true,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Explain(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE5_CachingAblation measures the §2.3 claim: the identical
+// request cold (mining every time) vs warm (LRU result-cache hit).
+func BenchmarkE5_CachingAblation(b *testing.B) {
+	e := benchEngine(b)
+	q := benchQuery(b, e, `actor:"Tom Hanks"`)
+	b.Run("cold", func(b *testing.B) {
+		req := ExplainRequest{Query: q, DisableCache: true}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Explain(req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		req := ExplainRequest{Query: q}
+		if _, err := e.Explain(req); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ex, err := e.Explain(req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !ex.FromCache {
+				b.Fatal("expected cache hit")
+			}
+		}
+	})
+}
+
+// benchProblem builds one solver instance outside the timed loop.
+func benchProblem(b *testing.B, e *Engine, qs string, task Task) *core.Problem {
+	b.Helper()
+	q := benchQuery(b, e, qs)
+	ids, err := query.Resolve(e.Store(), q)
+	if err != nil || len(ids) == 0 {
+		b.Fatalf("resolve: %v", err)
+	}
+	tuples := e.Store().TuplesForItems(ids, q.Window)
+	cfg := cube.DefaultConfig()
+	if adaptive := len(tuples) / 50; adaptive < cfg.MinSupport {
+		cfg.MinSupport = adaptive
+	}
+	if cfg.MinSupport < 3 {
+		cfg.MinSupport = 3
+	}
+	c := cube.Build(tuples, cfg)
+	p, err := core.NewProblem(task, c, DefaultSettings())
+	if err != nil {
+		b.Fatalf("problem: %v", err)
+	}
+	return p
+}
+
+// BenchmarkE6_RHEvsBaselines compares the solvers on the identical SM
+// instance (quality is reported by cmd/maprat-bench; this measures cost).
+func BenchmarkE6_RHEvsBaselines(b *testing.B) {
+	e := benchEngine(b)
+	p := benchProblem(b, e, `movie:"Toy Story"`, SimilarityMining)
+	b.Run("RHE", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if sol := p.SolveRHE(); !sol.Feasible {
+				b.Fatal("infeasible")
+			}
+		}
+	})
+	b.Run("greedy", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if sol := p.SolveGreedy(); !sol.Feasible {
+				b.Fatal("infeasible")
+			}
+		}
+	})
+	b.Run("random", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if sol := p.SolveRandom(16); !sol.Feasible {
+				b.Fatal("infeasible")
+			}
+		}
+	})
+}
+
+// BenchmarkE7_Scalability sweeps RHE cost against the query's rating
+// volume and against K.
+func BenchmarkE7_Scalability(b *testing.B) {
+	e := benchEngine(b)
+	for _, qs := range []string{
+		`movie:"Heat"`,
+		`movie:"Toy Story"`,
+		`actor:"Tom Hanks"`,
+		`genre:Animation`,
+		`genre:Drama`,
+	} {
+		p := benchProblem(b, e, qs, SimilarityMining)
+		b.Run(fmt.Sprintf("ratings_%d", p.NumTuples()), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.SolveRHE()
+			}
+		})
+	}
+	for _, k := range []int{2, 3, 4, 6} {
+		q := benchQuery(b, e, `actor:"Tom Hanks"`)
+		ids, _ := query.Resolve(e.Store(), q)
+		tuples := e.Store().TuplesForItems(ids, q.Window)
+		cfg := cube.DefaultConfig()
+		if adaptive := len(tuples) / 50; adaptive < cfg.MinSupport {
+			cfg.MinSupport = adaptive
+		}
+		c := cube.Build(tuples, cfg)
+		s := DefaultSettings()
+		s.K = k
+		p, err := core.NewProblem(SimilarityMining, c, s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("K_%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.SolveRHE()
+			}
+		})
+	}
+}
+
+// BenchmarkE8_Rendering measures the visualization layer: SVG and ASCII
+// choropleths for a full two-tab exploration.
+func BenchmarkE8_Rendering(b *testing.B) {
+	e := benchEngine(b)
+	q := benchQuery(b, e, `movie:"Toy Story"`)
+	ex, err := e.Explain(ExplainRequest{Query: q})
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := e.RenderExploration(ex)
+	b.Run("svg", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for m := range v.Maps {
+				if len(v.Maps[m].SVG()) == 0 {
+					b.Fatal("empty svg")
+				}
+			}
+		}
+	})
+	b.Run("ascii", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if len(v.ASCII(true)) == 0 {
+				b.Fatal("empty ascii")
+			}
+		}
+	})
+	b.Run("likert", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for m := 10; m <= 50; m++ {
+				viz.Likert(float64(m) / 10)
+			}
+		}
+	})
+}
+
+// BenchmarkE9_TimeSlider measures the §3.1 per-year mining sweep.
+func BenchmarkE9_TimeSlider(b *testing.B) {
+	e := benchEngine(b)
+	q := benchQuery(b, e, `movie:"Toy Story"`)
+	req := ExplainRequest{Query: q, Tasks: []Task{SimilarityMining}, DisableCache: true}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		points, err := e.Evolution(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(points) < 4 {
+			b.Fatalf("only %d windows", len(points))
+		}
+	}
+}

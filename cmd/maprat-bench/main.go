@@ -1,0 +1,81 @@
+// Command maprat-bench runs the experiment harness: one experiment per
+// figure or claim of the paper (E1–E9 in DESIGN.md), printing the measured
+// tables that EXPERIMENTS.md records.
+//
+//	maprat-bench                  # full MovieLens-1M scale (the paper's)
+//	maprat-bench -scale small     # quick 80k-rating run
+//	maprat-bench -only E2,E4      # a subset of experiments
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("maprat-bench: ")
+
+	var (
+		scale = flag.String("scale", "full", "dataset scale: small|full")
+		seed  = flag.Int64("seed", 1, "generator seed")
+		only  = flag.String("only", "", "comma-separated experiment IDs to run (default all)")
+	)
+	flag.Parse()
+
+	cfg := maprat.DefaultGenConfig()
+	if *scale == "small" {
+		cfg = maprat.SmallGenConfig()
+	}
+	cfg.Seed = *seed
+
+	start := time.Now()
+	log.Printf("generating %s-scale synthetic dataset (seed %d) ...", *scale, *seed)
+	ds, err := maprat.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats := ds.Stats()
+	log.Printf("dataset: %d ratings / %d movies / %d users in %s",
+		stats.Ratings, stats.Items, stats.Users, time.Since(start).Round(time.Millisecond))
+
+	start = time.Now()
+	eng, err := maprat.Open(ds, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("engine opened (indexes + global cube precompute) in %s",
+		time.Since(start).Round(time.Millisecond))
+
+	experiments := map[string]func(*maprat.Engine) bench.Report{
+		"E1":  bench.E1Queries,
+		"E2":  bench.E2SimilarityToyStory,
+		"E3":  bench.E3Exploration,
+		"E4":  bench.E4Controversial,
+		"E5":  bench.E5Caching,
+		"E6":  bench.E6QualityVsBaselines,
+		"E7":  bench.E7Scalability,
+		"E8":  bench.E8Rendering,
+		"E9":  bench.E9TimeSlider,
+		"E10": bench.E10Ablations,
+	}
+	if *only == "" {
+		bench.RunAll(eng, os.Stdout)
+		return
+	}
+	for _, id := range strings.Split(*only, ",") {
+		id = strings.TrimSpace(strings.ToUpper(id))
+		run, ok := experiments[id]
+		if !ok {
+			log.Fatalf("unknown experiment %q (have E1..E9)", id)
+		}
+		rep := run(eng)
+		rep.Print(os.Stdout)
+	}
+}

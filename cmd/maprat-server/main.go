@@ -1,0 +1,63 @@
+// Command maprat-server runs the MapRat web demo (§3 of the paper): the
+// Figure-1 search form, Figure-2 tabbed choropleth results, the Figure-3
+// group exploration pages, a time-slider view and a JSON API.
+//
+//	maprat-server -addr :8080            # synthetic small dataset
+//	maprat-server -scale full            # MovieLens-1M-scale synthetic data
+//	maprat-server -data /path/to/ml-1m   # real MovieLens 1M files
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"repro"
+	"repro/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("maprat-server: ")
+
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		dataDir = flag.String("data", "", "MovieLens-format data directory (default: synthetic)")
+		scale   = flag.String("scale", "small", "synthetic data scale when -data is unset: small|full")
+		seed    = flag.Int64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+
+	start := time.Now()
+	var (
+		ds  *maprat.Dataset
+		err error
+	)
+	switch {
+	case *dataDir != "":
+		log.Printf("loading %s ...", *dataDir)
+		ds, err = maprat.LoadDir(*dataDir)
+	case *scale == "full":
+		log.Print("generating MovieLens-1M-scale synthetic data ...")
+		cfg := maprat.DefaultGenConfig()
+		cfg.Seed = *seed
+		ds, err = maprat.Generate(cfg)
+	default:
+		cfg := maprat.SmallGenConfig()
+		cfg.Seed = *seed
+		ds, err = maprat.Generate(cfg)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := maprat.Open(ds, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats := ds.Stats()
+	log.Printf("ready in %s: %d ratings, %d movies, %d reviewers",
+		time.Since(start).Round(time.Millisecond), stats.Ratings, stats.Items, stats.Users)
+	log.Printf("listening on %s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, server.New(eng)))
+}

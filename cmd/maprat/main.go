@@ -1,0 +1,247 @@
+// Command maprat is the terminal front-end to the MapRat engine: it runs a
+// query, mines the Similarity and Diversity interpretations, and renders
+// the choropleth maps as text (optionally ANSI-colored).
+//
+// Examples:
+//
+//	maprat -q 'movie:"Toy Story"'
+//	maprat -q 'actor:"Tom Hanks" AND genre:Thriller' -k 4 -coverage 0.25
+//	maprat -q 'movie:"The Twilight Saga: Eclipse"' -framework -coverage 0.1 -k 2
+//	maprat -q 'movie:"Toy Story"' -explore 'gender=male,state=CA'
+//	maprat -q 'movie:"Toy Story"' -evolution
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro"
+	"repro/internal/cube"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("maprat: ")
+
+	var (
+		dataDir   = flag.String("data", "", "MovieLens-format data directory (default: generate synthetic data)")
+		scale     = flag.String("scale", "small", "synthetic data scale when -data is unset: small|full")
+		seed      = flag.Int64("seed", 1, "generator seed")
+		queryStr  = flag.String("q", `movie:"Toy Story"`, "item query, e.g. 'actor:\"Tom Hanks\" AND genre:Thriller'")
+		k         = flag.Int("k", 3, "maximum number of groups per interpretation")
+		coverage  = flag.Float64("coverage", 0.20, "minimum fraction of ratings the groups must cover")
+		fromYear  = flag.Int("from", 0, "restrict ratings to years >= this")
+		toYear    = flag.Int("to", 0, "restrict ratings to years <= this")
+		profile   = flag.String("profile", "", "demographic profile, e.g. 'gender=female,age=under 18'")
+		framework = flag.Bool("framework", false, "framework mode: groups need no geo-condition")
+		color     = flag.Bool("color", false, "ANSI-colored choropleth tiles")
+		exploreK  = flag.String("explore", "", "explore one group key, e.g. 'gender=male,state=CA'")
+		drillK    = flag.String("drill", "", "drill-mine city sub-groups inside one group key, e.g. 'state=CA'")
+		evolution = flag.Bool("evolution", false, "show the best SM groups per year (time slider)")
+	)
+	flag.Parse()
+
+	eng, err := openEngine(*dataDir, *scale, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	q, err := eng.ParseQuery(*queryStr)
+	if err != nil {
+		log.Fatalf("parse query: %v", err)
+	}
+	if *fromYear != 0 {
+		q.Window.From = time.Date(*fromYear, 1, 1, 0, 0, 0, 0, time.UTC).Unix()
+	}
+	if *toYear != 0 {
+		q.Window.To = time.Date(*toYear+1, 1, 1, 0, 0, 0, 0, time.UTC).Unix() - 1
+	}
+
+	settings := maprat.DefaultSettings()
+	settings.K = *k
+	settings.Coverage = *coverage
+	if *profile != "" {
+		key, err := cube.ParseKey(*profile)
+		if err != nil {
+			log.Fatalf("parse profile: %v", err)
+		}
+		settings.Profile = key
+	}
+	req := maprat.ExplainRequest{Query: q, Settings: settings}
+	if *framework {
+		free := cube.Config{RequireState: false, MinSupport: 8, MaxAVPairs: 2, SkipApex: true}
+		req.CubeConfig = &free
+	}
+
+	switch {
+	case *exploreK != "":
+		if err := runExplore(eng, q, *exploreK); err != nil {
+			log.Fatal(err)
+		}
+	case *drillK != "":
+		if err := runDrill(eng, q, *drillK, settings); err != nil {
+			log.Fatal(err)
+		}
+	case *evolution:
+		if err := runEvolution(eng, req); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		if err := runExplain(eng, req, *color); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+func openEngine(dataDir, scale string, seed int64) (*maprat.Engine, error) {
+	var (
+		ds  *maprat.Dataset
+		err error
+	)
+	switch {
+	case dataDir != "":
+		fmt.Fprintf(os.Stderr, "loading %s ...\n", dataDir)
+		ds, err = maprat.LoadDir(dataDir)
+	case scale == "full":
+		fmt.Fprintln(os.Stderr, "generating MovieLens-1M-scale synthetic data ...")
+		cfg := maprat.DefaultGenConfig()
+		cfg.Seed = seed
+		ds, err = maprat.Generate(cfg)
+	default:
+		cfg := maprat.SmallGenConfig()
+		cfg.Seed = seed
+		ds, err = maprat.Generate(cfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return maprat.Open(ds, nil)
+}
+
+func runExplain(eng *maprat.Engine, req maprat.ExplainRequest, color bool) error {
+	ex, err := eng.Explain(req)
+	if err != nil {
+		return err
+	}
+	fmt.Print(eng.RenderExploration(ex).ASCII(color))
+	fmt.Printf("\n%d items, %d ratings, overall μ=%.2f σ=%.2f — %s\n",
+		len(ex.ItemIDs), ex.NumRatings, ex.Overall.Mean(), ex.Overall.Std(),
+		ex.Elapsed.Round(time.Millisecond))
+	for _, tr := range ex.Results {
+		fmt.Printf("%s: objective=%.4f coverage=%.0f%% (α=%.0f%%)\n",
+			tr.Task, tr.Objective, tr.Coverage*100, tr.RelaxedCoverage*100)
+	}
+	return nil
+}
+
+func runExplore(eng *maprat.Engine, q maprat.Query, keyStr string) error {
+	key, err := cube.ParseKey(keyStr)
+	if err != nil {
+		return fmt.Errorf("parse key: %v", err)
+	}
+	st, related, err := eng.ExploreGroup(q, key, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s\n  μ=%.2f σ=%.2f n=%d share=%.1f%%\n\n",
+		st.Phrase, st.Agg.Mean(), st.Agg.Std(), st.Agg.Count, st.Share*100)
+	fmt.Println("rating distribution:")
+	for s := 1; s < len(st.Histogram); s++ {
+		fmt.Printf("  %d★ %-40s %d\n", s, bar(st.Histogram[s], maxHist(st.Histogram[:])), st.Histogram[s])
+	}
+	if len(st.Cities) > 0 {
+		fmt.Println("\ncity drill-down:")
+		for _, c := range st.Cities {
+			fmt.Printf("  %-20s μ=%.2f n=%d\n", c.City, c.Agg.Mean(), c.Agg.Count)
+		}
+	}
+	fmt.Println("\nrating evolution:")
+	for _, b := range st.Timeline {
+		if b.Agg.Count == 0 {
+			fmt.Printf("  %-18s —\n", b.Label())
+			continue
+		}
+		fmt.Printf("  %-18s μ=%.2f n=%d\n", b.Label(), b.Agg.Mean(), b.Agg.Count)
+	}
+	if len(related) > 0 {
+		fmt.Println("\nrelated groups:")
+		for _, g := range related {
+			fmt.Printf("  %-55s μ=%.2f n=%d\n", g.Phrase, g.Agg.Mean(), g.Agg.Count)
+		}
+	}
+	if refs, err := eng.RefineGroup(q, key, 6); err == nil && len(refs) > 0 {
+		fmt.Println("\ndrill deeper (most deviant refinements):")
+		for _, r := range refs {
+			fmt.Printf("  %-55s μ=%.2f n=%-5d Δ%+.2f (+%s)\n",
+				r.Group.Phrase, r.Group.Agg.Mean(), r.Group.Agg.Count, r.Delta, r.Added)
+		}
+	}
+	return nil
+}
+
+func runDrill(eng *maprat.Engine, q maprat.Query, keyStr string, s maprat.Settings) error {
+	key, err := cube.ParseKey(keyStr)
+	if err != nil {
+		return fmt.Errorf("parse key: %v", err)
+	}
+	s.Coverage = 0.25 // city sub-groups partition the parent; a quarter is realistic
+	tr, err := eng.DrillMine(q, key, maprat.SimilarityMining, s)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("city-level drill-down mining inside %s:\n", key.Phrase())
+	for _, g := range tr.Groups {
+		fmt.Printf("  %-55s μ=%.2f n=%d\n", g.Phrase, g.Agg.Mean(), g.Agg.Count)
+	}
+	fmt.Printf("objective=%.4f coverage=%.0f%% of the group's ratings\n", tr.Objective, tr.Coverage*100)
+	return nil
+}
+
+func runEvolution(eng *maprat.Engine, req maprat.ExplainRequest) error {
+	req.Tasks = []maprat.Task{maprat.SimilarityMining}
+	points, err := eng.Evolution(req)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("time slider — %s\n", req.Query.String())
+	for _, p := range points {
+		year := time.Unix(p.Window.From, 0).UTC().Year()
+		if p.Err != nil || p.Explanation == nil {
+			fmt.Printf("%d: (no result: %v)\n", year, p.Err)
+			continue
+		}
+		fmt.Printf("%d: %d ratings, μ=%.2f\n", year,
+			p.Explanation.NumRatings, p.Explanation.Overall.Mean())
+		if sm := p.Explanation.Result(maprat.SimilarityMining); sm != nil {
+			for _, g := range sm.Groups {
+				fmt.Printf("    %-55s μ=%.2f n=%d\n", g.Phrase, g.Agg.Mean(), g.Agg.Count)
+			}
+		}
+	}
+	return nil
+}
+
+func bar(n, max int) string {
+	if max == 0 {
+		return ""
+	}
+	w := n * 40 / max
+	out := make([]byte, w)
+	for i := range out {
+		out[i] = '#'
+	}
+	return string(out)
+}
+
+func maxHist(h []int) int {
+	m := 1
+	for _, v := range h {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

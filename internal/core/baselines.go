@@ -1,0 +1,162 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// MaxExhaustiveSubsets bounds SolveExhaustive's enumeration so tests and
+// experiments cannot accidentally melt a laptop; the experiments only use
+// the exact optimum on small candidate sets.
+const MaxExhaustiveSubsets = 2_000_000
+
+// SolveExhaustive enumerates every selection of minGroups..K candidate
+// groups and returns the exact optimum. It fails when the instance would
+// exceed MaxExhaustiveSubsets evaluations.
+func (p *Problem) SolveExhaustive() (Solution, error) {
+	n := len(p.cands)
+	totalSubsets := 0
+	for k := p.minGroups(); k <= p.Settings.K && k <= n; k++ {
+		totalSubsets += binomial(n, k)
+		if totalSubsets > MaxExhaustiveSubsets || totalSubsets < 0 {
+			return Solution{}, fmt.Errorf(
+				"core: exhaustive search needs > %d evaluations (n=%d, K=%d)",
+				MaxExhaustiveSubsets, n, p.Settings.K)
+		}
+	}
+
+	best := Solution{Objective: math.Inf(1)}
+	evals := 0
+	sel := make([]int, 0, p.Settings.K)
+	var recurse func(start, k int)
+	recurse = func(start, k int) {
+		if k == 0 {
+			obj, cov, feasible := p.Evaluate(sel)
+			evals++
+			cand := Solution{Objective: obj, Coverage: cov, Feasible: feasible}
+			if cand.Better(best) {
+				cand.Groups = clone(sel)
+				best = cand
+			}
+			return
+		}
+		for i := start; i <= len(p.cands)-k; i++ {
+			sel = append(sel, p.cands[i])
+			recurse(i+1, k-1)
+			sel = sel[:len(sel)-1]
+		}
+	}
+	for k := p.minGroups(); k <= p.Settings.K && k <= n; k++ {
+		recurse(0, k)
+	}
+	best.Evals = evals
+	p.sortForPresentation(best.Groups)
+	return best, nil
+}
+
+func binomial(n, k int) int {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	res := 1
+	for i := 0; i < k; i++ {
+		res = res * (n - i) / (i + 1)
+		if res < 0 || res > MaxExhaustiveSubsets*8 {
+			return MaxExhaustiveSubsets + 1 // saturate: caller only thresholds
+		}
+	}
+	return res
+}
+
+// SolveGreedy builds a selection by repeatedly adding the candidate with
+// the best marginal score: coverage gain scaled by an objective penalty.
+// It is the natural set-cover-style heuristic the experiments compare RHE
+// against — fast, but blind to group interactions (especially DM's
+// pairwise structure).
+func (p *Problem) SolveGreedy() Solution {
+	var sel []int
+	used := map[int]bool{}
+	evals := 0
+
+	for len(sel) < p.Settings.K {
+		p.markSelection(sel, -1)
+		bestCand := -1
+		bestScore := math.Inf(-1)
+		for _, gi := range p.cands {
+			if used[gi] {
+				continue
+			}
+			gain := float64(p.unmarkedCount(gi))
+			g := &p.Cube.Groups[gi]
+			var score float64
+			switch p.Task {
+			case SimilarityMining:
+				// Prefer large new coverage from internally consistent
+				// groups: gain discounted by the group's own σ.
+				score = gain / (0.25 + g.Agg.Std())
+			case DiversityMining:
+				// Prefer coverage plus distance from the already selected
+				// means (a pairwise-blind proxy for the DM reward).
+				dist := 0.0
+				for _, sj := range sel {
+					dist += math.Abs(g.Mean() - p.Cube.Groups[sj].Mean())
+				}
+				if len(sel) > 0 {
+					dist /= float64(len(sel))
+				}
+				score = gain / (0.25 + g.Agg.Std()) * (0.5 + dist)
+			}
+			evals++
+			if score > bestScore {
+				bestScore, bestCand = score, gi
+			}
+		}
+		if bestCand < 0 {
+			break
+		}
+		used[bestCand] = true
+		sel = append(sel, bestCand)
+		// Stop early once the coverage constraint holds and the minimum
+		// group count is met — greedily adding more only dilutes SM.
+		if len(sel) >= p.minGroups() && float64(p.coveredCount(sel)) >= p.required() {
+			if p.Task == SimilarityMining {
+				break
+			}
+			if len(sel) >= 2 {
+				break
+			}
+		}
+	}
+
+	sol := Solution{Groups: sel, Evals: evals}
+	sol.Objective, sol.Coverage, sol.Feasible = p.Evaluate(sel)
+	p.sortForPresentation(sol.Groups)
+	return sol
+}
+
+// SolveRandom returns the best of n random coverage-repaired selections —
+// the "how much does hill climbing add" control for E6.
+func (p *Problem) SolveRandom(n int) Solution {
+	rng := rand.New(rand.NewSource(p.Settings.Seed))
+	best := Solution{Objective: math.Inf(1)}
+	evals := 0
+	for i := 0; i < n; i++ {
+		sel, ok := p.randomFeasibleInit(rng)
+		if !ok {
+			continue
+		}
+		cand := Solution{Groups: clone(sel)}
+		cand.Objective, cand.Coverage, cand.Feasible = p.Evaluate(sel)
+		evals++
+		if cand.Better(best) {
+			best = cand
+		}
+	}
+	best.Evals = evals
+	p.sortForPresentation(best.Groups)
+	return best
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cube"
+)
+
+func benchInstance(b *testing.B, task Task) *Problem {
+	b.Helper()
+	tuples := miningTuples(5_000, 99)
+	c := cube.Build(tuples, cube.Config{RequireState: true, MinSupport: 25, MaxAVPairs: 3, SkipApex: true})
+	s := DefaultSettings()
+	p, err := NewProblem(task, c, s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+func BenchmarkEvaluate(b *testing.B) {
+	p := benchInstance(b, SimilarityMining)
+	sel := p.Candidates()[:3]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Evaluate(sel)
+	}
+}
+
+func BenchmarkSolveRHE_SM(b *testing.B) {
+	p := benchInstance(b, SimilarityMining)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if sol := p.SolveRHE(); !sol.Feasible {
+			b.Fatal("infeasible")
+		}
+	}
+}
+
+func BenchmarkSolveRHE_DM(b *testing.B) {
+	p := benchInstance(b, DiversityMining)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if sol := p.SolveRHE(); !sol.Feasible {
+			b.Fatal("infeasible")
+		}
+	}
+}
+
+func BenchmarkSolveGreedy(b *testing.B) {
+	p := benchInstance(b, SimilarityMining)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if sol := p.SolveGreedy(); !sol.Feasible {
+			b.Fatal("infeasible")
+		}
+	}
+}
+
+func BenchmarkCoverageOf(b *testing.B) {
+	p := benchInstance(b, SimilarityMining)
+	sel := p.Candidates()
+	if len(sel) > 6 {
+		sel = sel[:6]
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if cov := p.CoverageOf(sel); cov <= 0 {
+			b.Fatal("zero coverage")
+		}
+	}
+}

@@ -1,0 +1,253 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// rhePatience is how many fresh neighbourhood samples a restart draws
+// after one shows no improving move, before declaring a local optimum.
+// The neighbourhood is sampled, so a single empty sample is weak evidence
+// of local optimality when the candidate set is much larger than the
+// sample.
+const rhePatience = 3
+
+// SolveRHE runs Randomized Hill Exploration: repeated randomized restarts,
+// each drawing a random coverage-repaired selection and hill-climbing over
+// a sampled swap/add/drop neighbourhood until no sampled move improves the
+// objective while staying feasible. The best local optimum across restarts
+// wins. Deterministic under Settings.Seed.
+func (p *Problem) SolveRHE() Solution {
+	rng := rand.New(rand.NewSource(p.Settings.Seed))
+	best := Solution{Objective: math.Inf(1)}
+	evals := 0
+
+	for r := 0; r < p.Settings.Restarts; r++ {
+		sel, ok := p.randomFeasibleInit(rng)
+		if !ok {
+			continue
+		}
+		obj, _, _ := p.Evaluate(sel)
+		evals++
+		// Re-sampling only helps when the sample cannot already cover the
+		// whole candidate set.
+		patience := rhePatience
+		if p.Settings.SampleSize >= len(p.cands) {
+			patience = 1
+		}
+		misses := 0
+		for iter := 0; iter < p.Settings.MaxIters && misses < patience; iter++ {
+			newSel, newObj, e, moved := p.bestSampledMove(rng, sel, obj)
+			evals += e
+			if !moved {
+				misses++
+				continue
+			}
+			misses = 0
+			sel, obj = newSel, newObj
+		}
+		cand := Solution{Groups: clone(sel)}
+		cand.Objective, cand.Coverage, cand.Feasible = p.Evaluate(cand.Groups)
+		evals++
+		if cand.Better(best) {
+			best = cand
+		}
+	}
+	best.Evals = evals
+	p.sortForPresentation(best.Groups)
+	return best
+}
+
+// randomFeasibleInit draws K random candidates biased toward high support,
+// then greedily repairs coverage by swapping the group with the smallest
+// unique contribution for the unused candidate with the highest marginal
+// coverage.
+func (p *Problem) randomFeasibleInit(rng *rand.Rand) ([]int, bool) {
+	k := p.Settings.K
+	if k > len(p.cands) {
+		k = len(p.cands)
+	}
+	if k < p.minGroups() {
+		return nil, false
+	}
+	// Support-biased sampling: candidates are support-sorted, so a squared
+	// uniform index skews toward the head.
+	sel := make([]int, 0, k)
+	used := map[int]bool{}
+	for attempts := 0; len(sel) < k && attempts < 64*k; attempts++ {
+		u := rng.Float64()
+		idx := int(u * u * float64(len(p.cands)))
+		if idx >= len(p.cands) {
+			idx = len(p.cands) - 1
+		}
+		gi := p.cands[idx]
+		if !used[gi] {
+			used[gi] = true
+			sel = append(sel, gi)
+		}
+	}
+	if len(sel) < p.minGroups() {
+		return nil, false
+	}
+	// Greedy coverage repair.
+	for repair := 0; repair < 4*k; repair++ {
+		if float64(p.coveredCount(sel)) >= p.required() {
+			return sel, true
+		}
+		worst := p.leastUniqueIndex(sel)
+		p.markSelection(sel, worst)
+		bestCand, bestGain := -1, -1
+		for _, gi := range p.cands {
+			if used[gi] {
+				continue
+			}
+			if gain := p.unmarkedCount(gi); gain > bestGain {
+				bestGain, bestCand = gain, gi
+			}
+		}
+		if bestCand < 0 {
+			break
+		}
+		delete(used, sel[worst])
+		used[bestCand] = true
+		sel[worst] = bestCand
+	}
+	return sel, float64(p.coveredCount(sel)) >= p.required()
+}
+
+// markSelection marks the members of every selected group except the one
+// at position skip (pass -1 to mark all).
+func (p *Problem) markSelection(sel []int, skip int) {
+	p.epoch++
+	for i, gi := range sel {
+		if i == skip {
+			continue
+		}
+		for _, ti := range p.Cube.Groups[gi].Members {
+			p.mark[ti] = p.epoch
+		}
+	}
+}
+
+// unmarkedCount counts a group's members not marked in the current epoch —
+// its marginal coverage against the marked selection.
+func (p *Problem) unmarkedCount(gi int) int {
+	n := 0
+	for _, ti := range p.Cube.Groups[gi].Members {
+		if p.mark[ti] != p.epoch {
+			n++
+		}
+	}
+	return n
+}
+
+// leastUniqueIndex returns the selection position whose group contributes
+// the fewest tuples nobody else covers.
+func (p *Problem) leastUniqueIndex(sel []int) int {
+	worst, worstUnique := 0, int(^uint(0)>>1)
+	for i := range sel {
+		p.markSelection(sel, i)
+		if u := p.unmarkedCount(sel[i]); u < worstUnique {
+			worstUnique, worst = u, i
+		}
+	}
+	return worst
+}
+
+// bestSampledMove examines a sampled neighbourhood — swapping each position
+// with SampleSize candidates, dropping a position, adding a candidate — and
+// returns the best feasible selection that improves on curObj.
+func (p *Problem) bestSampledMove(rng *rand.Rand, sel []int, curObj float64) (newSel []int, obj float64, evals int, moved bool) {
+	bestObj := curObj
+	var bestSel []int
+
+	inSel := map[int]bool{}
+	for _, gi := range sel {
+		inSel[gi] = true
+	}
+	try := func(trial []int) {
+		o, _, feasible := p.Evaluate(trial)
+		evals++
+		if feasible && o < bestObj-1e-12 {
+			bestObj, bestSel = o, trial
+		}
+	}
+
+	sample := p.sampleCandidates(rng, inSel)
+	for pos := range sel {
+		for _, cand := range sample {
+			trial := clone(sel)
+			trial[pos] = cand
+			try(trial)
+		}
+		if len(sel) > p.minGroups() {
+			trial := make([]int, 0, len(sel)-1)
+			trial = append(trial, sel[:pos]...)
+			try(append(trial, sel[pos+1:]...))
+		}
+	}
+	if len(sel) < p.Settings.K {
+		for _, cand := range sample {
+			trial := make([]int, 0, len(sel)+1)
+			trial = append(trial, sel...)
+			try(append(trial, cand))
+		}
+	}
+
+	if bestSel == nil {
+		return sel, curObj, evals, false
+	}
+	return bestSel, bestObj, evals, true
+}
+
+// sampleCandidates draws up to SampleSize distinct candidates outside the
+// current selection: the support-sorted head (always worth trying), for
+// Diversity Mining additionally the extreme-mean head (small groups with
+// far-out averages are exactly what the DM reward wants, and uniform
+// sampling almost never surfaces them), and uniform random exploration for
+// the rest.
+func (p *Problem) sampleCandidates(rng *rand.Rand, inSel map[int]bool) []int {
+	n := p.Settings.SampleSize
+	out := make([]int, 0, n)
+	seen := map[int]bool{}
+	take := func(list []int, quota int) {
+		for _, gi := range list {
+			if len(out) >= quota {
+				return
+			}
+			if !inSel[gi] && !seen[gi] {
+				seen[gi] = true
+				out = append(out, gi)
+			}
+		}
+	}
+	take(p.cands, n/3)
+	if p.Task == DiversityMining {
+		take(p.byExtreme, 2*n/3)
+	}
+	for attempts := 0; len(out) < n && attempts < 4*n; attempts++ {
+		gi := p.cands[rng.Intn(len(p.cands))]
+		if !inSel[gi] && !seen[gi] {
+			seen[gi] = true
+			out = append(out, gi)
+		}
+	}
+	return out
+}
+
+func (p *Problem) sortForPresentation(sel []int) {
+	sort.Slice(sel, func(a, b int) bool {
+		ga, gb := &p.Cube.Groups[sel[a]], &p.Cube.Groups[sel[b]]
+		if ga.Support() != gb.Support() {
+			return ga.Support() > gb.Support()
+		}
+		return sel[a] < sel[b]
+	})
+}
+
+func clone(xs []int) []int {
+	out := make([]int, len(xs))
+	copy(out, xs)
+	return out
+}

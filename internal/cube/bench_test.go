@@ -1,0 +1,82 @@
+package cube
+
+import (
+	"testing"
+)
+
+func benchTuples(n int) []Tuple {
+	return randomTuples(n, 42)
+}
+
+func BenchmarkBuildGeoAnchored(b *testing.B) {
+	tuples := benchTuples(10_000)
+	cfg := DefaultConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := Build(tuples, cfg)
+		if c.Len() == 0 {
+			b.Fatal("empty cube")
+		}
+	}
+}
+
+func BenchmarkBuildFramework(b *testing.B) {
+	tuples := benchTuples(10_000)
+	cfg := Config{RequireState: false, MinSupport: 12, MaxAVPairs: 3, SkipApex: true}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := Build(tuples, cfg)
+		if c.Len() == 0 {
+			b.Fatal("empty cube")
+		}
+	}
+}
+
+func BenchmarkKeyMatches(b *testing.B) {
+	k := KeyAll.With(Gender, 1).With(State, 7)
+	vals := [NumAttrs]int16{1, 3, 12, 7}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !k.Matches(vals) {
+			b.Fatal("mismatch")
+		}
+	}
+}
+
+func BenchmarkSiblings(b *testing.B) {
+	tuples := benchTuples(5_000)
+	c := Build(tuples, Config{RequireState: true, MinSupport: 5, MaxAVPairs: 2})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if sibs := c.Siblings(); len(sibs) != c.Len() {
+			b.Fatal("bad sibling table")
+		}
+	}
+}
+
+func BenchmarkAggAdd(b *testing.B) {
+	var a Agg
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Add(int8(1 + i%5))
+	}
+	if a.Count != b.N {
+		b.Fatal("count mismatch")
+	}
+}
+
+func BenchmarkKeyPhrase(b *testing.B) {
+	k := KeyAll.With(Gender, 1).With(Age, 0).With(Occupation, 10).With(State, StateIndex("NY"))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(k.Phrase()) == 0 {
+			b.Fatal("empty phrase")
+		}
+	}
+}

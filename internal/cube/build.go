@@ -1,0 +1,263 @@
+package cube
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Group is one materialized cube cell over the input tuples: a candidate
+// explanation group. Members holds the indices (into the Cube's tuple
+// slice) of the tuples the group covers, which the mining layer uses for
+// coverage computation and drill-down.
+type Group struct {
+	Key     Key
+	Agg     Agg
+	Members []int32
+}
+
+// Mean is a convenience accessor for the group's average score.
+func (g *Group) Mean() float64 { return g.Agg.Mean() }
+
+// Support is the number of rating tuples the group covers.
+func (g *Group) Support() int { return g.Agg.Count }
+
+// MAD computes the mean absolute deviation of the group's scores around its
+// mean — the alternative consistency error ablated against the O(1) σ.
+// It needs a pass over the members, so it is not used on the mining hot
+// path.
+func (g *Group) MAD(tuples []Tuple) float64 {
+	if len(g.Members) == 0 {
+		return 0
+	}
+	m := g.Mean()
+	var sum float64
+	for _, ti := range g.Members {
+		d := float64(tuples[ti].Score) - m
+		if d < 0 {
+			d = -d
+		}
+		sum += d
+	}
+	return sum / float64(len(g.Members))
+}
+
+// Config controls candidate-group construction.
+type Config struct {
+	// RequireState restricts candidates to groups carrying a state
+	// condition, the paper's demo mode ("each of the groups always specify
+	// the state as their geo condition").
+	RequireState bool
+	// EnableCity lets the City attribute participate in candidate
+	// enumeration (off by default: state-level mining then pays nothing
+	// for the extra attribute).
+	EnableCity bool
+	// RequireCity restricts candidates to groups carrying a city
+	// condition — drill-down mining inside a state group. Implies
+	// EnableCity.
+	RequireCity bool
+	// MinSupport prunes cells covering fewer tuples. The paper requires
+	// each returned group to "cover a reasonable fraction" of ratings;
+	// pruning rare cells also keeps the candidate space tractable.
+	MinSupport int
+	// MaxAVPairs caps the description length (number of attribute-value
+	// pairs, including the state condition) so labels stay "meaningful" and
+	// readable. 0 means no cap.
+	MaxAVPairs int
+	// SkipApex excludes the fully unconstrained group ⟨all⟩, which explains
+	// nothing (it is the overall average the paper argues against).
+	SkipApex bool
+}
+
+// DefaultConfig mirrors the demo's setup: geo-anchored, readable labels.
+func DefaultConfig() Config {
+	return Config{RequireState: true, MinSupport: 12, MaxAVPairs: 3, SkipApex: true}
+}
+
+// Cube is the materialized set of candidate groups over a tuple set R_I.
+type Cube struct {
+	Tuples []Tuple
+	Groups []Group
+	Cfg    Config
+
+	byKey map[Key]int
+}
+
+// Build materializes every cube cell with at least one tuple that passes
+// cfg's pruning rules. This is the "set of groups that has at least one
+// rating tuple in R_I are then constructed" step of §2.3.
+//
+// Each tuple contributes to every subset of its attribute values (2^4 cells,
+// or 2^3 when the state condition is mandatory), so construction is
+// O(|R_I| · 2^|UA|) with a single map insert per cell.
+func Build(tuples []Tuple, cfg Config) *Cube {
+	type cell struct {
+		agg     Agg
+		members []int32
+	}
+	cells := make(map[Key]*cell, 1024)
+
+	free := freeAttrs(cfg) // attributes allowed to vary in the subset mask
+	for ti := range tuples {
+		t := &tuples[ti]
+		if cfg.RequireState && t.Vals[State] == Wildcard {
+			continue // unresolvable zip: cannot satisfy any geo-anchored group
+		}
+		if cfg.RequireCity && t.Vals[City] == Wildcard {
+			continue
+		}
+		for mask := 0; mask < 1<<len(free); mask++ {
+			k := KeyAll
+			if cfg.RequireState {
+				k[State] = t.Vals[State]
+			}
+			if cfg.RequireCity {
+				k[City] = t.Vals[City]
+			}
+			n := k.NumConstrained()
+			for bi, a := range free {
+				if mask&(1<<bi) != 0 {
+					if t.Vals[a] == Wildcard {
+						n = -1 // tuple lacks this attribute; skip cell
+						break
+					}
+					k[a] = t.Vals[a]
+					n++
+				}
+			}
+			if n < 0 {
+				continue
+			}
+			if cfg.SkipApex && n == 0 {
+				continue
+			}
+			if cfg.MaxAVPairs > 0 && n > cfg.MaxAVPairs {
+				continue
+			}
+			c := cells[k]
+			if c == nil {
+				c = &cell{}
+				cells[k] = c
+			}
+			c.agg.Add(t.Score)
+			c.members = append(c.members, int32(ti))
+		}
+	}
+
+	cb := &Cube{Tuples: tuples, Cfg: cfg, byKey: make(map[Key]int)}
+	for k, c := range cells {
+		if c.agg.Count < cfg.MinSupport {
+			continue
+		}
+		cb.Groups = append(cb.Groups, Group{Key: k, Agg: c.agg, Members: c.members})
+	}
+	// Deterministic order: by support descending, then key for ties, so the
+	// mining layer's seeded randomness is reproducible run to run.
+	sort.Slice(cb.Groups, func(i, j int) bool {
+		gi, gj := &cb.Groups[i], &cb.Groups[j]
+		if gi.Agg.Count != gj.Agg.Count {
+			return gi.Agg.Count > gj.Agg.Count
+		}
+		return lessKey(gi.Key, gj.Key)
+	})
+	for i := range cb.Groups {
+		cb.byKey[cb.Groups[i].Key] = i
+	}
+	return cb
+}
+
+func freeAttrs(cfg Config) []Attr {
+	var free []Attr
+	for a := 0; a < NumAttrs; a++ {
+		switch {
+		case cfg.RequireState && Attr(a) == State:
+			continue
+		case Attr(a) == City && (cfg.RequireCity || !cfg.EnableCity):
+			continue
+		}
+		free = append(free, Attr(a))
+	}
+	return free
+}
+
+func lessKey(a, b Key) bool {
+	for i := 0; i < NumAttrs; i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// Group returns the materialized cell for a descriptor, if it survived
+// pruning.
+func (c *Cube) Group(k Key) (*Group, bool) {
+	if i, ok := c.byKey[k]; ok {
+		return &c.Groups[i], true
+	}
+	return nil, false
+}
+
+// Len returns the number of candidate groups.
+func (c *Cube) Len() int { return len(c.Groups) }
+
+// Siblings returns, for each group index, the indices of its sibling groups
+// (same constrained attributes, exactly one differing value). Diversity
+// Mining weights sibling disagreement higher because the paper's canonical
+// DM output is a sibling pair.
+func (c *Cube) Siblings() [][]int {
+	// Bucket groups by (wildcard mask, values with one attribute blanked):
+	// two groups are siblings iff they share a bucket for the blanked
+	// attribute and differ there.
+	type bucketKey struct {
+		blank Attr
+		k     Key
+	}
+	buckets := make(map[bucketKey][]int)
+	for i := range c.Groups {
+		k := c.Groups[i].Key
+		for a := 0; a < NumAttrs; a++ {
+			if k[a] == Wildcard {
+				continue
+			}
+			bk := bucketKey{blank: Attr(a), k: k.With(Attr(a), Wildcard)}
+			buckets[bk] = append(buckets[bk], i)
+		}
+	}
+	out := make([][]int, len(c.Groups))
+	for _, idxs := range buckets {
+		if len(idxs) < 2 {
+			continue
+		}
+		for _, i := range idxs {
+			for _, j := range idxs {
+				if i != j {
+					out[i] = append(out[i], j)
+				}
+			}
+		}
+	}
+	for i := range out {
+		sort.Ints(out[i])
+		out[i] = dedupInts(out[i])
+	}
+	return out
+}
+
+func dedupInts(xs []int) []int {
+	if len(xs) < 2 {
+		return xs
+	}
+	w := 1
+	for i := 1; i < len(xs); i++ {
+		if xs[i] != xs[w-1] {
+			xs[w] = xs[i]
+			w++
+		}
+	}
+	return xs[:w]
+}
+
+// String summarizes the cube for logs.
+func (c *Cube) String() string {
+	return fmt.Sprintf("cube{tuples=%d groups=%d cfg=%+v}", len(c.Tuples), len(c.Groups), c.Cfg)
+}

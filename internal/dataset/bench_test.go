@@ -1,0 +1,59 @@
+package dataset
+
+import (
+	"bytes"
+	"testing"
+)
+
+func BenchmarkGenerateSmall(b *testing.B) {
+	cfg := SmallGenConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseRatings(b *testing.B) {
+	d, err := Generate(SmallGenConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteRatings(&buf, d.Ratings); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b.SetBytes(int64(len(raw)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs, err := ParseRatings(bytes.NewReader(raw))
+		if err != nil || len(rs) != len(d.Ratings) {
+			b.Fatalf("parse: %v (%d ratings)", err, len(rs))
+		}
+	}
+}
+
+func BenchmarkParseUsers(b *testing.B) {
+	d, err := Generate(SmallGenConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteUsers(&buf, d.Users); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b.SetBytes(int64(len(raw)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		us, err := ParseUsers(bytes.NewReader(raw))
+		if err != nil || len(us) != len(d.Users) {
+			b.Fatalf("parse: %v", err)
+		}
+	}
+}

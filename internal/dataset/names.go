@@ -1,0 +1,99 @@
+package dataset
+
+// Vocabularies for the synthetic generator: person-name pools for the
+// IMDB-style cast enrichment and word pools for synthetic movie titles.
+// All synthesis is deterministic given the generator seed.
+
+var firstNames = []string{
+	"James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael",
+	"Linda", "David", "Elizabeth", "William", "Barbara", "Richard", "Susan",
+	"Joseph", "Jessica", "Thomas", "Sarah", "Charles", "Karen", "Christopher",
+	"Lisa", "Daniel", "Nancy", "Matthew", "Betty", "Anthony", "Margaret",
+	"Mark", "Sandra", "Donald", "Ashley", "Steven", "Kimberly", "Paul",
+	"Emily", "Andrew", "Donna", "Joshua", "Michelle", "Kenneth", "Carol",
+	"Kevin", "Amanda", "Brian", "Dorothy", "George", "Melissa",
+}
+
+var lastNames = []string{
+	"Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+	"Davis", "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez",
+	"Wilson", "Anderson", "Thomas", "Taylor", "Moore", "Jackson", "Martin",
+	"Lee", "Perez", "Thompson", "White", "Harris", "Sanchez", "Clark",
+	"Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen", "King",
+	"Wright", "Scott", "Torres", "Nguyen", "Hill", "Flores", "Green",
+	"Adams", "Nelson", "Baker", "Hall", "Rivera", "Campbell", "Mitchell",
+}
+
+// personName derives the idx-th synthetic person name; indices range over
+// len(firstNames)*len(lastNames) distinct combinations.
+func personName(idx int) string {
+	f := firstNames[idx%len(firstNames)]
+	l := lastNames[(idx/len(firstNames))%len(lastNames)]
+	return f + " " + l
+}
+
+var titleAdjectives = []string{
+	"Crimson", "Silent", "Golden", "Broken", "Midnight", "Electric",
+	"Forgotten", "Burning", "Frozen", "Hidden", "Savage", "Gentle",
+	"Hollow", "Distant", "Restless", "Velvet", "Iron", "Paper", "Glass",
+	"Neon", "Wandering", "Fearless", "Lonely", "Wicked", "Radiant",
+	"Shattered", "Quiet", "Endless", "Stolen", "Secret",
+}
+
+var titleNouns = []string{
+	"Harbor", "Empire", "Garden", "Horizon", "Shadow", "Summer", "Winter",
+	"River", "Mountain", "Avenue", "Symphony", "Promise", "Journey",
+	"Kingdom", "Letter", "Mirror", "Voyage", "Canyon", "Carnival",
+	"Lantern", "Orchard", "Station", "Tempest", "Parade", "Compass",
+	"Fortune", "Whisper", "Anthem", "Frontier", "Castle",
+}
+
+var titlePlaces = []string{
+	"Veridia", "Ashford", "Bellmont", "Cedar Falls", "Duskwood", "Eastvale",
+	"Fairpoint", "Glenrock", "Harlow", "Ivory Bay", "Juniper", "Kingsport",
+	"Larkspur", "Meridian", "Northgate", "Oakhaven", "Pinecrest", "Quarry",
+	"Redfield", "Silverlake",
+}
+
+// syntheticTitle derives the idx-th synthetic movie title. The index
+// decomposes injectively into (pattern, adjective, noun), so the first
+// 4·|adjectives|·|nouns| titles are unique by construction; beyond that a
+// Roman-numeral sequel suffix disambiguates cycles.
+func syntheticTitle(idx int) string {
+	pattern := idx % 4
+	adj := titleAdjectives[(idx/4)%len(titleAdjectives)]
+	noun := titleNouns[(idx/(4*len(titleAdjectives)))%len(titleNouns)]
+	place := titlePlaces[(idx/4)%len(titlePlaces)]
+	var t string
+	switch pattern {
+	case 0:
+		t = "The " + adj + " " + noun
+	case 1:
+		t = adj + " " + noun
+	case 2:
+		t = adj + " " + noun + " of " + place
+	default:
+		t = "A " + adj + " " + noun
+	}
+	if cycle := idx / (4 * len(titleAdjectives) * len(titleNouns)); cycle > 0 {
+		t += " " + roman(cycle+1)
+	}
+	return t
+}
+
+// roman renders small positive integers as Roman numerals (sequel style).
+func roman(n int) string {
+	vals := []struct {
+		v int
+		s string
+	}{{1000, "M"}, {900, "CM"}, {500, "D"}, {400, "CD"}, {100, "C"}, {90, "XC"},
+		{50, "L"}, {40, "XL"}, {10, "X"}, {9, "IX"}, {5, "V"}, {4, "IV"}, {1, "I"}}
+	out := ""
+	for _, p := range vals {
+		for n >= p.v {
+			out += p.s
+			n -= p.v
+		}
+	}
+	return out
+}

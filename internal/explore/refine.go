@@ -1,0 +1,129 @@
+package explore
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/cube"
+	"repro/internal/model"
+)
+
+// Refinement is a child of a group in the cube lattice: the group's
+// description plus exactly one more attribute-value pair. Interactive
+// exploration surfaces the refinements whose rating behaviour deviates
+// most from the parent — "drill deeper" in the paper's terms.
+type Refinement struct {
+	Group *cube.Group
+	// Added is the attribute the refinement constrains beyond the parent.
+	Added cube.Attr
+	// Delta is the refinement's mean minus the parent's mean; large
+	// absolute deltas mark sub-populations that disagree with the group
+	// as a whole.
+	Delta float64
+}
+
+// Refinements returns g's children present in the cube, ordered by
+// |Delta| descending (ties: larger support first). The cube's MaxAVPairs
+// pruning bounds how deep refinement can go.
+func Refinements(c *cube.Cube, g *cube.Group) []Refinement {
+	parentMean := g.Mean()
+	var out []Refinement
+	for i := range c.Groups {
+		child := &c.Groups[i]
+		if child.Key == g.Key {
+			continue
+		}
+		added, ok := refinesBy(g.Key, child.Key)
+		if !ok {
+			continue
+		}
+		out = append(out, Refinement{
+			Group: child,
+			Added: added,
+			Delta: child.Mean() - parentMean,
+		})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		da, db := math.Abs(out[a].Delta), math.Abs(out[b].Delta)
+		if da != db {
+			return da > db
+		}
+		if out[a].Group.Support() != out[b].Group.Support() {
+			return out[a].Group.Support() > out[b].Group.Support()
+		}
+		return cubeKeyLess(out[a].Group.Key, out[b].Group.Key)
+	})
+	return out
+}
+
+// refinesBy reports whether child constrains exactly the parent's
+// attributes plus one more, agreeing on all shared values.
+func refinesBy(parent, child cube.Key) (cube.Attr, bool) {
+	added := -1
+	for a := 0; a < cube.NumAttrs; a++ {
+		switch {
+		case parent[a] == cube.Wildcard && child[a] != cube.Wildcard:
+			if added != -1 {
+				return 0, false // more than one new condition
+			}
+			added = a
+		case parent[a] != child[a]:
+			return 0, false // disagreement or a dropped condition
+		}
+	}
+	if added == -1 {
+		return 0, false
+	}
+	return cube.Attr(added), true
+}
+
+func cubeKeyLess(a, b cube.Key) bool {
+	for i := 0; i < cube.NumAttrs; i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// Comparison contrasts two groups' rating behaviour over the same query —
+// the paper's "convenient way to compare the rating patterns of related
+// groups" (Figure 3).
+type Comparison struct {
+	A, B cube.Key
+	// MeanGap is mean(A) − mean(B).
+	MeanGap float64
+	// HistA and HistB are the per-score rating counts.
+	HistA, HistB [model.MaxScore + 1]int
+	// OverlapUsers counts reviewers present in both groups (a reviewer
+	// can belong to both only when the descriptions are non-exclusive).
+	OverlapUsers int
+	// SiblingAttr is set when the groups are siblings (one attribute
+	// apart); it names the attribute the controversy pivots on.
+	SiblingAttr    cube.Attr
+	SiblingRelated bool
+}
+
+// Compare builds the comparison payload for two groups of the same cube.
+func Compare(tuples []cube.Tuple, a, b *cube.Group) Comparison {
+	cmp := Comparison{A: a.Key, B: b.Key, MeanGap: a.Mean() - b.Mean()}
+	if attr, ok := a.Key.SiblingOf(b.Key); ok {
+		cmp.SiblingAttr = attr
+		cmp.SiblingRelated = true
+	}
+	usersA := map[int32]bool{}
+	for _, ti := range a.Members {
+		cmp.HistA[tuples[ti].Score]++
+		usersA[tuples[ti].UserID] = true
+	}
+	seenOverlap := map[int32]bool{}
+	for _, ti := range b.Members {
+		cmp.HistB[tuples[ti].Score]++
+		uid := tuples[ti].UserID
+		if usersA[uid] && !seenOverlap[uid] {
+			seenOverlap[uid] = true
+			cmp.OverlapUsers++
+		}
+	}
+	return cmp
+}

@@ -1,0 +1,257 @@
+package model
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGenderRoundTrip(t *testing.T) {
+	for g := Male; int(g) < NumGenders; g++ {
+		parsed, err := ParseGender(g.String())
+		if err != nil {
+			t.Fatalf("ParseGender(%q): %v", g.String(), err)
+		}
+		if parsed != g {
+			t.Errorf("round trip %v -> %q -> %v", g, g.String(), parsed)
+		}
+	}
+}
+
+func TestParseGenderLowercase(t *testing.T) {
+	if g, err := ParseGender("f"); err != nil || g != Female {
+		t.Errorf("ParseGender(\"f\") = %v, %v; want Female, nil", g, err)
+	}
+	if _, err := ParseGender("X"); err == nil {
+		t.Error("ParseGender(\"X\") should fail")
+	}
+}
+
+func TestAgeBucketRoundTrip(t *testing.T) {
+	for a := AgeUnder18; int(a) < NumAgeBuckets; a++ {
+		parsed, err := ParseAgeCode(a.Code())
+		if err != nil {
+			t.Fatalf("ParseAgeCode(%d): %v", a.Code(), err)
+		}
+		if parsed != a {
+			t.Errorf("round trip %v -> %d -> %v", a, a.Code(), parsed)
+		}
+	}
+	if _, err := ParseAgeCode(99); err == nil {
+		t.Error("ParseAgeCode(99) should fail")
+	}
+}
+
+func TestBucketForAge(t *testing.T) {
+	cases := []struct {
+		years int
+		want  AgeBucket
+	}{
+		{5, AgeUnder18}, {17, AgeUnder18}, {18, Age18to24}, {24, Age18to24},
+		{25, Age25to34}, {34, Age25to34}, {35, Age35to44}, {44, Age35to44},
+		{45, Age45to49}, {49, Age45to49}, {50, Age50to55}, {55, Age50to55},
+		{56, Age56Plus}, {90, Age56Plus},
+	}
+	for _, c := range cases {
+		if got := BucketForAge(c.years); got != c.want {
+			t.Errorf("BucketForAge(%d) = %v, want %v", c.years, got, c.want)
+		}
+	}
+}
+
+func TestBucketForAgeAlwaysValid(t *testing.T) {
+	f := func(years uint8) bool {
+		b := BucketForAge(int(years))
+		return int(b) < NumAgeBuckets
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOccupationRoundTrip(t *testing.T) {
+	for code := 0; code < NumOccupations; code++ {
+		o, err := ParseOccupation(code)
+		if err != nil {
+			t.Fatalf("ParseOccupation(%d): %v", code, err)
+		}
+		back, ok := OccupationByLabel(o.Label())
+		if !ok || back != o {
+			t.Errorf("label round trip for occupation %d (%q) failed", code, o.Label())
+		}
+	}
+	if _, err := ParseOccupation(NumOccupations); err == nil {
+		t.Error("ParseOccupation out of range should fail")
+	}
+	if _, err := ParseOccupation(-1); err == nil {
+		t.Error("ParseOccupation(-1) should fail")
+	}
+}
+
+func TestUserValidate(t *testing.T) {
+	valid := User{ID: 1, Gender: Female, Age: Age18to24, Occupation: 4, Zip: "94110"}
+	if err := valid.Validate(); err != nil {
+		t.Fatalf("valid user rejected: %v", err)
+	}
+	cases := []User{
+		{ID: 0, Zip: "94110"},
+		{ID: 2, Gender: Gender(9), Zip: "94110"},
+		{ID: 3, Age: AgeBucket(99), Zip: "94110"},
+		{ID: 4, Occupation: Occupation(99), Zip: "94110"},
+		{ID: 5},
+	}
+	for i, u := range cases {
+		if err := u.Validate(); err == nil {
+			t.Errorf("case %d: invalid user %+v accepted", i, u)
+		}
+	}
+}
+
+func TestRatingValidate(t *testing.T) {
+	ok := Rating{UserID: 1, ItemID: 2, Score: 3, Unix: 0}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid rating rejected: %v", err)
+	}
+	bad := []Rating{
+		{UserID: 0, ItemID: 1, Score: 3},
+		{UserID: 1, ItemID: 0, Score: 3},
+		{UserID: 1, ItemID: 1, Score: 0},
+		{UserID: 1, ItemID: 1, Score: 6},
+	}
+	for i, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Errorf("case %d: invalid rating %+v accepted", i, r)
+		}
+	}
+}
+
+func TestRatingScoreBoundsProperty(t *testing.T) {
+	f := func(score int8) bool {
+		r := Rating{UserID: 1, ItemID: 1, Score: int(score)}
+		err := r.Validate()
+		inRange := int(score) >= MinScore && int(score) <= MaxScore
+		return (err == nil) == inRange
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func testDataset(t *testing.T) *Dataset {
+	t.Helper()
+	users := []User{
+		{ID: 1, Gender: Male, Age: Age25to34, Occupation: 12, Zip: "94110"},
+		{ID: 2, Gender: Female, Age: AgeUnder18, Occupation: 10, Zip: "10001"},
+	}
+	items := []Item{
+		{ID: 1, Title: "Toy Story", Year: 1995, Genres: []string{"Animation", "Children's", "Comedy"}},
+		{ID: 2, Title: "Heat", Year: 1995, Genres: []string{"Action", "Crime", "Thriller"}},
+	}
+	ratings := []Rating{
+		{UserID: 1, ItemID: 1, Score: 5, Unix: 978300000},
+		{UserID: 2, ItemID: 1, Score: 4, Unix: 978300100},
+		{UserID: 1, ItemID: 2, Score: 3, Unix: 978300200},
+	}
+	d, err := NewDataset(users, items, ratings)
+	if err != nil {
+		t.Fatalf("NewDataset: %v", err)
+	}
+	return d
+}
+
+func TestDatasetLookups(t *testing.T) {
+	d := testDataset(t)
+	if u := d.UserByID(2); u == nil || u.Gender != Female {
+		t.Errorf("UserByID(2) = %+v", u)
+	}
+	if u := d.UserByID(99); u != nil {
+		t.Errorf("UserByID(99) should be nil, got %+v", u)
+	}
+	if it := d.ItemByID(1); it == nil || it.Title != "Toy Story" {
+		t.Errorf("ItemByID(1) = %+v", it)
+	}
+	if it := d.ItemByID(42); it != nil {
+		t.Errorf("ItemByID(42) should be nil, got %+v", it)
+	}
+}
+
+func TestDatasetValidate(t *testing.T) {
+	d := testDataset(t)
+	if err := d.Validate(); err != nil {
+		t.Fatalf("valid dataset rejected: %v", err)
+	}
+	d.Ratings = append(d.Ratings, Rating{UserID: 99, ItemID: 1, Score: 3})
+	if err := d.Validate(); err == nil {
+		t.Error("dangling user reference accepted")
+	}
+	d.Ratings[len(d.Ratings)-1] = Rating{UserID: 1, ItemID: 99, Score: 3}
+	if err := d.Validate(); err == nil {
+		t.Error("dangling item reference accepted")
+	}
+}
+
+func TestDatasetDuplicateIDs(t *testing.T) {
+	users := []User{{ID: 1, Zip: "1"}, {ID: 1, Zip: "2"}}
+	if _, err := NewDataset(users, nil, nil); err == nil {
+		t.Error("duplicate user id accepted")
+	}
+	items := []Item{{ID: 7, Title: "A"}, {ID: 7, Title: "B"}}
+	if _, err := NewDataset(nil, items, nil); err == nil {
+		t.Error("duplicate item id accepted")
+	}
+}
+
+func TestDatasetStats(t *testing.T) {
+	d := testDataset(t)
+	s := d.Stats()
+	if s.Users != 2 || s.Items != 2 || s.Ratings != 3 {
+		t.Errorf("counts = %+v", s)
+	}
+	wantMean := (5.0 + 4.0 + 3.0) / 3.0
+	if s.MeanScore != wantMean {
+		t.Errorf("MeanScore = %f, want %f", s.MeanScore, wantMean)
+	}
+	if s.MinUnix != 978300000 || s.MaxUnix != 978300200 {
+		t.Errorf("time range = [%d,%d]", s.MinUnix, s.MaxUnix)
+	}
+	if s.ScoreCount[5] != 1 || s.ScoreCount[4] != 1 || s.ScoreCount[3] != 1 {
+		t.Errorf("score histogram = %v", s.ScoreCount)
+	}
+}
+
+func TestStatsEmptyDataset(t *testing.T) {
+	d := &Dataset{}
+	if err := d.Reindex(); err != nil {
+		t.Fatal(err)
+	}
+	s := d.Stats()
+	if s.Ratings != 0 || s.MeanScore != 0 {
+		t.Errorf("empty stats = %+v", s)
+	}
+}
+
+func TestItemsByTitle(t *testing.T) {
+	items := []Item{
+		{ID: 3, Title: "King Kong", Year: 2005},
+		{ID: 1, Title: "King Kong", Year: 1933},
+		{ID: 2, Title: "Heat", Year: 1995},
+	}
+	d, err := NewDataset(nil, items, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := d.ItemsByTitle("King Kong")
+	if len(got) != 2 || got[0].Year != 1933 || got[1].Year != 2005 {
+		t.Errorf("ItemsByTitle order wrong: %+v", got)
+	}
+	if got := d.ItemsByTitle("Nope"); len(got) != 0 {
+		t.Errorf("ItemsByTitle miss returned %+v", got)
+	}
+}
+
+func TestRatingTime(t *testing.T) {
+	r := Rating{UserID: 1, ItemID: 1, Score: 5, Unix: 978307200}
+	tm := r.Time()
+	if tm.Year() != 2001 || tm.Month() != 1 || tm.Day() != 1 {
+		t.Errorf("Time() = %v, want 2001-01-01", tm)
+	}
+}

@@ -1,0 +1,349 @@
+// Package server is MapRat's web front-end (§3, Figures 1–3): a search
+// form over item attributes with mining settings and a time restriction,
+// tabbed SM/DM choropleth result pages, a per-group exploration page with
+// statistics and the city drill-down, a time-slider page, and a JSON API.
+// It is a stdlib net/http application; the choropleths are the inline SVG
+// documents produced by internal/viz.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"html/template"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro"
+	"repro/internal/cube"
+	"repro/internal/store"
+	"repro/internal/viz"
+)
+
+// Server routes MapRat's HTTP endpoints.
+type Server struct {
+	eng *maprat.Engine
+	mux *http.ServeMux
+}
+
+// New builds a server over an opened engine.
+func New(eng *maprat.Engine) *Server {
+	s := &Server{eng: eng, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/", s.handleIndex)
+	s.mux.HandleFunc("/explain", s.handleExplain)
+	s.mux.HandleFunc("/group", s.handleGroup)
+	s.mux.HandleFunc("/evolution", s.handleEvolution)
+	s.mux.HandleFunc("/browse", s.handleBrowse)
+	s.mux.HandleFunc("/api/explain", s.handleAPIExplain)
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	stats := s.eng.Dataset().Stats()
+	lo, hi := s.eng.TimeRange()
+	render(w, indexTmpl, map[string]any{
+		"Users":    stats.Users,
+		"Items":    stats.Items,
+		"Ratings":  stats.Ratings,
+		"FromYear": time.Unix(lo, 0).UTC().Year(),
+		"ToYear":   time.Unix(hi, 0).UTC().Year(),
+	})
+}
+
+// parseRequest reads the Figure-1 form fields shared by all result pages.
+func (s *Server) parseRequest(r *http.Request) (maprat.ExplainRequest, error) {
+	qs := r.URL.Query().Get("q")
+	if qs == "" {
+		return maprat.ExplainRequest{}, fmt.Errorf("missing q parameter")
+	}
+	q, err := s.eng.ParseQuery(qs)
+	if err != nil {
+		return maprat.ExplainRequest{}, err
+	}
+	settings := maprat.DefaultSettings()
+	if v := r.URL.Query().Get("k"); v != "" {
+		k, err := strconv.Atoi(v)
+		if err != nil || k < 1 || k > 12 {
+			return maprat.ExplainRequest{}, fmt.Errorf("bad k %q (want 1..12)", v)
+		}
+		settings.K = k
+	}
+	if v := r.URL.Query().Get("coverage"); v != "" {
+		a, err := strconv.ParseFloat(v, 64)
+		if err != nil || a < 0 || a > 1 {
+			return maprat.ExplainRequest{}, fmt.Errorf("bad coverage %q (want 0..1)", v)
+		}
+		settings.Coverage = a
+	}
+	if v := r.URL.Query().Get("profile"); v != "" {
+		key, err := cube.ParseKey(v)
+		if err != nil {
+			return maprat.ExplainRequest{}, fmt.Errorf("bad profile: %v", err)
+		}
+		settings.Profile = key
+	}
+	q.Window, err = parseWindow(r)
+	if err != nil {
+		return maprat.ExplainRequest{}, err
+	}
+	req := maprat.ExplainRequest{Query: q, Settings: settings}
+	if r.URL.Query().Get("geo") == "off" {
+		free := cube.Config{RequireState: false, MinSupport: 8, MaxAVPairs: 2, SkipApex: true}
+		req.CubeConfig = &free
+	}
+	return req, nil
+}
+
+func parseWindow(r *http.Request) (store.TimeWindow, error) {
+	var w store.TimeWindow
+	if v := r.URL.Query().Get("from"); v != "" {
+		y, err := strconv.Atoi(v)
+		if err != nil {
+			return w, fmt.Errorf("bad from year %q", v)
+		}
+		w.From = time.Date(y, 1, 1, 0, 0, 0, 0, time.UTC).Unix()
+	}
+	if v := r.URL.Query().Get("to"); v != "" {
+		y, err := strconv.Atoi(v)
+		if err != nil {
+			return w, fmt.Errorf("bad to year %q", v)
+		}
+		w.To = time.Date(y+1, 1, 1, 0, 0, 0, 0, time.UTC).Unix() - 1
+	}
+	return w, nil
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	req, err := s.parseRequest(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	ex, err := s.eng.Explain(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	v := s.eng.RenderExploration(ex)
+	type tab struct {
+		Title  string
+		SVG    template.HTML
+		Groups []maprat.GroupResult
+		Result maprat.TaskResult
+	}
+	var tabs []tab
+	for i, tr := range ex.Results {
+		tabs = append(tabs, tab{
+			Title:  tr.Task.String(),
+			SVG:    template.HTML(v.Maps[i].SVG()),
+			Groups: tr.Groups,
+			Result: tr,
+		})
+	}
+	titles := make([]string, 0, len(ex.ItemIDs))
+	for _, id := range ex.ItemIDs {
+		if it := s.eng.Dataset().ItemByID(id); it != nil {
+			titles = append(titles, fmt.Sprintf("%s (%d)", it.Title, it.Year))
+		}
+	}
+	render(w, explainTmpl, map[string]any{
+		"Query":      ex.Query.String(),
+		"RawQuery":   r.URL.Query().Get("q"),
+		"Items":      titles,
+		"NumRatings": ex.NumRatings,
+		"Overall":    ex.Overall,
+		"Tabs":       tabs,
+		"Elapsed":    ex.Elapsed.Round(time.Millisecond).String(),
+		"FromCache":  ex.FromCache,
+		"URLQuery":   template.URL(r.URL.RawQuery),
+	})
+}
+
+func (s *Server) handleGroup(w http.ResponseWriter, r *http.Request) {
+	req, err := s.parseRequest(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	key, err := cube.ParseKey(r.URL.Query().Get("key"))
+	if err != nil {
+		http.Error(w, "bad key: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	st, related, err := s.eng.ExploreGroup(req.Query, key, 0)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	refinements, err := s.eng.RefineGroup(req.Query, key, 8)
+	if err != nil {
+		refinements = nil // the group itself rendered; drill-down is best effort
+	}
+	type bar struct {
+		Score int
+		Count int
+		Width int
+	}
+	maxCount := 1
+	for _, c := range st.Histogram {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	var bars []bar
+	for sc := 1; sc < len(st.Histogram); sc++ {
+		bars = append(bars, bar{Score: sc, Count: st.Histogram[sc], Width: 300 * st.Histogram[sc] / maxCount})
+	}
+	render(w, groupTmpl, map[string]any{
+		"Query":       req.Query.String(),
+		"RawQuery":    r.URL.Query().Get("q"),
+		"Stats":       st,
+		"Bars":        bars,
+		"Related":     related,
+		"Refinements": refinements,
+		"URLQuery":    template.URL(r.URL.RawQuery),
+	})
+}
+
+// handleBrowse renders the whole-log per-state choropleth from the
+// precomputed global cube — browse mode before any query is entered.
+func (s *Server) handleBrowse(w http.ResponseWriter, r *http.Request) {
+	states := s.eng.BrowseStates()
+	if states == nil {
+		http.Error(w, "browse mode needs the precomputed global cube", http.StatusServiceUnavailable)
+		return
+	}
+	m := viz.Map{Title: "All ratings by state (whole log)"}
+	for _, st := range states {
+		m.Shades = append(m.Shades, viz.Shade{
+			State:   st.State,
+			Mean:    st.Agg.Mean(),
+			Support: st.Agg.Count,
+			Label:   "reviewers from " + st.State,
+			Icons:   "all reviewers",
+		})
+	}
+	render(w, browseTmpl, map[string]any{
+		"SVG":    template.HTML(m.SVG()),
+		"States": states,
+	})
+}
+
+func (s *Server) handleEvolution(w http.ResponseWriter, r *http.Request) {
+	req, err := s.parseRequest(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	points, err := s.eng.Evolution(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	type row struct {
+		Year   int
+		Groups []maprat.GroupResult
+		Empty  bool
+	}
+	var rows []row
+	for _, p := range points {
+		y := time.Unix(p.Window.From, 0).UTC().Year()
+		if p.Err != nil || p.Explanation == nil {
+			rows = append(rows, row{Year: y, Empty: true})
+			continue
+		}
+		var groups []maprat.GroupResult
+		if sm := p.Explanation.Result(maprat.SimilarityMining); sm != nil {
+			groups = sm.Groups
+		}
+		rows = append(rows, row{Year: y, Groups: groups})
+	}
+	render(w, evolutionTmpl, map[string]any{
+		"Query": req.Query.String(),
+		"Rows":  rows,
+	})
+}
+
+func (s *Server) handleAPIExplain(w http.ResponseWriter, r *http.Request) {
+	req, err := s.parseRequest(r)
+	if err != nil {
+		writeJSONError(w, http.StatusBadRequest, err)
+		return
+	}
+	ex, err := s.eng.Explain(req)
+	if err != nil {
+		writeJSONError(w, http.StatusNotFound, err)
+		return
+	}
+	type apiGroup struct {
+		Key    string  `json:"key"`
+		Phrase string  `json:"phrase"`
+		State  string  `json:"state,omitempty"`
+		Mean   float64 `json:"mean"`
+		Count  int     `json:"count"`
+		Std    float64 `json:"std"`
+		Share  float64 `json:"share"`
+	}
+	type apiTask struct {
+		Task      string     `json:"task"`
+		Objective float64    `json:"objective"`
+		Coverage  float64    `json:"coverage"`
+		Groups    []apiGroup `json:"groups"`
+	}
+	resp := struct {
+		Query      string    `json:"query"`
+		ItemIDs    []int     `json:"item_ids"`
+		NumRatings int       `json:"num_ratings"`
+		Mean       float64   `json:"overall_mean"`
+		Tasks      []apiTask `json:"tasks"`
+		FromCache  bool      `json:"from_cache"`
+		ElapsedMS  float64   `json:"elapsed_ms"`
+	}{
+		Query:      ex.Query.String(),
+		ItemIDs:    ex.ItemIDs,
+		NumRatings: ex.NumRatings,
+		Mean:       ex.Overall.Mean(),
+		FromCache:  ex.FromCache,
+		ElapsedMS:  float64(ex.Elapsed.Microseconds()) / 1000,
+	}
+	for _, tr := range ex.Results {
+		at := apiTask{Task: tr.Task.String(), Objective: tr.Objective, Coverage: tr.Coverage}
+		for _, g := range tr.Groups {
+			at.Groups = append(at.Groups, apiGroup{
+				Key: g.Key.Param(), Phrase: g.Phrase, State: g.State,
+				Mean: g.Agg.Mean(), Count: g.Agg.Count, Std: g.Agg.Std(), Share: g.Share,
+			})
+		}
+		resp.Tasks = append(resp.Tasks, at)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func writeJSONError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	// Best effort: the status code already carries the failure.
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func render(w http.ResponseWriter, t *template.Template, data any) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := t.Execute(w, data); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

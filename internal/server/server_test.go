@@ -1,0 +1,293 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro"
+)
+
+var (
+	srvOnce sync.Once
+	srvMemo *httptest.Server
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srvOnce.Do(func() {
+		ds, err := maprat.Generate(maprat.SmallGenConfig())
+		if err != nil {
+			panic(err)
+		}
+		eng, err := maprat.Open(ds, nil)
+		if err != nil {
+			panic(err)
+		}
+		srvMemo = httptest.NewServer(New(eng))
+	})
+	return srvMemo
+}
+
+func get(t *testing.T, ts *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestIndexPage(t *testing.T) {
+	ts := testServer(t)
+	code, body := get(t, ts, "/")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	for _, want := range []string{"MapRat", "Explain Ratings", "coverage", "Toy Story"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("index missing %q", want)
+		}
+	}
+}
+
+func TestIndexNotFound(t *testing.T) {
+	ts := testServer(t)
+	if code, _ := get(t, ts, "/nope"); code != http.StatusNotFound {
+		t.Errorf("status %d, want 404", code)
+	}
+}
+
+func TestHealth(t *testing.T) {
+	ts := testServer(t)
+	code, body := get(t, ts, "/healthz")
+	if code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Errorf("healthz = %d %q", code, body)
+	}
+}
+
+func explainPath(q string, extra string) string {
+	p := "/explain?q=" + url.QueryEscape(q)
+	if extra != "" {
+		p += "&" + extra
+	}
+	return p
+}
+
+func TestExplainPage(t *testing.T) {
+	ts := testServer(t)
+	code, body := get(t, ts, explainPath(`movie:"Toy Story"`, ""))
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	for _, want := range []string{
+		"Similarity Mining", "Diversity Mining", "<svg", "reviewers from",
+		"overall μ", "explore",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("explain page missing %q", want)
+		}
+	}
+}
+
+func TestExplainBadRequests(t *testing.T) {
+	ts := testServer(t)
+	cases := []string{
+		"/explain",                                     // missing q
+		explainPath("notafield:x", ""),                 // bad query
+		explainPath(`movie:"Toy Story"`, "k=99"),       // k out of range
+		explainPath(`movie:"Toy Story"`, "coverage=7"), // bad coverage
+		explainPath(`movie:"Toy Story"`, "from=abcd"),  // bad year
+		explainPath(`movie:"Toy Story"`, "profile=zz%3D1"),
+	}
+	for _, p := range cases {
+		if code, _ := get(t, ts, p); code != http.StatusBadRequest {
+			t.Errorf("GET %s = %d, want 400", p, code)
+		}
+	}
+}
+
+func TestExplainUnknownMovie(t *testing.T) {
+	ts := testServer(t)
+	if code, _ := get(t, ts, explainPath(`movie:"Zyzzyva The Unfilmed"`, "")); code != http.StatusNotFound {
+		t.Errorf("unknown movie status %d, want 404", code)
+	}
+}
+
+func TestGroupPageFlow(t *testing.T) {
+	ts := testServer(t)
+	// Pull a group key out of the JSON API, then explore it.
+	code, body := get(t, ts, "/api/explain?q="+url.QueryEscape(`movie:"Toy Story"`))
+	if code != http.StatusOK {
+		t.Fatalf("api status %d", code)
+	}
+	var resp struct {
+		Tasks []struct {
+			Groups []struct {
+				Key string `json:"key"`
+			} `json:"groups"`
+		} `json:"tasks"`
+	}
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatalf("api json: %v", err)
+	}
+	if len(resp.Tasks) == 0 || len(resp.Tasks[0].Groups) == 0 {
+		t.Fatal("api returned no groups")
+	}
+	key := resp.Tasks[0].Groups[0].Key
+	p := "/group?q=" + url.QueryEscape(`movie:"Toy Story"`) + "&key=" + url.QueryEscape(key)
+	code, page := get(t, ts, p)
+	if code != http.StatusOK {
+		t.Fatalf("group page %d: %s", code, page)
+	}
+	for _, want := range []string{"Rating distribution", "Rating evolution", "reviewers"} {
+		if !strings.Contains(page, want) {
+			t.Errorf("group page missing %q", want)
+		}
+	}
+}
+
+func TestGroupPageBadKey(t *testing.T) {
+	ts := testServer(t)
+	p := "/group?q=" + url.QueryEscape(`movie:"Toy Story"`) + "&key=" + url.QueryEscape("bogus")
+	if code, _ := get(t, ts, p); code != http.StatusBadRequest {
+		t.Errorf("bad key status %d, want 400", code)
+	}
+	p = "/group?q=" + url.QueryEscape(`movie:"Toy Story"`) + "&key=" + url.QueryEscape("state=WY,occupation=farmer")
+	if code, _ := get(t, ts, p); code != http.StatusNotFound {
+		t.Errorf("absent group status %d, want 404", code)
+	}
+}
+
+func TestEvolutionPage(t *testing.T) {
+	ts := testServer(t)
+	code, body := get(t, ts, "/evolution?q="+url.QueryEscape(`movie:"Toy Story"`))
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if !strings.Contains(body, "per year") {
+		t.Error("evolution page missing title")
+	}
+	// At least a few year rows.
+	if strings.Count(body, "<tr>") < 4 {
+		t.Errorf("evolution page has too few rows:\n%s", body)
+	}
+}
+
+func TestAPIExplainShape(t *testing.T) {
+	ts := testServer(t)
+	code, body := get(t, ts, "/api/explain?q="+url.QueryEscape(`actor:"Tom Hanks"`)+"&k=4")
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var resp struct {
+		Query      string  `json:"query"`
+		NumRatings int     `json:"num_ratings"`
+		Mean       float64 `json:"overall_mean"`
+		Tasks      []struct {
+			Task     string  `json:"task"`
+			Coverage float64 `json:"coverage"`
+			Groups   []struct {
+				Key    string  `json:"key"`
+				Phrase string  `json:"phrase"`
+				Mean   float64 `json:"mean"`
+				Count  int     `json:"count"`
+				Share  float64 `json:"share"`
+			} `json:"groups"`
+		} `json:"tasks"`
+	}
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatalf("json: %v", err)
+	}
+	if resp.NumRatings == 0 || resp.Mean == 0 {
+		t.Errorf("api stats empty: %+v", resp)
+	}
+	if len(resp.Tasks) != 2 {
+		t.Fatalf("tasks = %d", len(resp.Tasks))
+	}
+	for _, task := range resp.Tasks {
+		if task.Task != "SM" && task.Task != "DM" {
+			t.Errorf("unexpected task %q", task.Task)
+		}
+		if len(task.Groups) == 0 || len(task.Groups) > 4 {
+			t.Errorf("%s groups = %d, want 1..4", task.Task, len(task.Groups))
+		}
+		for _, g := range task.Groups {
+			if g.Key == "" || g.Phrase == "" || g.Count == 0 {
+				t.Errorf("incomplete group %+v", g)
+			}
+		}
+	}
+}
+
+func TestAPIExplainErrors(t *testing.T) {
+	ts := testServer(t)
+	code, body := get(t, ts, "/api/explain")
+	if code != http.StatusBadRequest {
+		t.Fatalf("status %d", code)
+	}
+	var e map[string]string
+	if err := json.Unmarshal([]byte(body), &e); err != nil || e["error"] == "" {
+		t.Errorf("error payload: %q", body)
+	}
+}
+
+func TestExplainFrameworkMode(t *testing.T) {
+	ts := testServer(t)
+	p := explainPath(`movie:"The Twilight Saga: Eclipse"`, "geo=off&coverage=0.10&k=2")
+	code, body := get(t, ts, p)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	if !strings.Contains(body, "Diversity Mining") {
+		t.Error("framework-mode page incomplete")
+	}
+}
+
+func TestExplainWithWindow(t *testing.T) {
+	ts := testServer(t)
+	code, _ := get(t, ts, explainPath(`movie:"Toy Story"`, "from=1999&to=2001"))
+	if code != http.StatusOK {
+		t.Fatalf("windowed explain status %d", code)
+	}
+}
+
+func TestBrowsePage(t *testing.T) {
+	ts := testServer(t)
+	code, body := get(t, ts, "/browse")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	for _, want := range []string{"<svg", "by state", "CA"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("browse page missing %q", want)
+		}
+	}
+	// One table row per state plus header.
+	if n := strings.Count(body, "<tr>"); n < 40 {
+		t.Errorf("browse page has only %d rows", n)
+	}
+}
+
+func TestGroupPageShowsRefinements(t *testing.T) {
+	ts := testServer(t)
+	// The CA state group always has demographic refinements.
+	p := "/group?q=" + url.QueryEscape(`movie:"Toy Story"`) + "&key=" + url.QueryEscape("state=CA")
+	code, page := get(t, ts, p)
+	if code != http.StatusOK {
+		t.Fatalf("group page %d", code)
+	}
+	if !strings.Contains(page, "Drill deeper") {
+		t.Error("group page missing the refinement section")
+	}
+}

@@ -1,0 +1,297 @@
+// Package store is MapRat's in-memory rating store: the "aggressive data
+// pre-processing, result pre-computation and caching" layer of §2.3. It
+// joins every rating with its reviewer's demographics once at open time,
+// maintains inverted indexes from item attributes (title, genre, actor,
+// director) to items and from items to rating tuples sorted by time, keeps
+// a precomputed global cube for browse-mode statistics, and offers an LRU
+// result cache for repeated queries.
+package store
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cube"
+	"repro/internal/model"
+)
+
+// TimeWindow restricts ratings to [From, To] (Unix seconds, inclusive).
+// Zero bounds are unbounded, so the zero TimeWindow means "all time".
+type TimeWindow struct {
+	From, To int64
+}
+
+// Contains reports whether ts falls inside the window.
+func (w TimeWindow) Contains(ts int64) bool {
+	if w.From != 0 && ts < w.From {
+		return false
+	}
+	if w.To != 0 && ts > w.To {
+		return false
+	}
+	return true
+}
+
+// IsAll reports whether the window is unbounded on both sides.
+func (w TimeWindow) IsAll() bool { return w.From == 0 && w.To == 0 }
+
+// String renders the window for cache keys and logs.
+func (w TimeWindow) String() string {
+	if w.IsAll() {
+		return "[all]"
+	}
+	return fmt.Sprintf("[%d,%d]", w.From, w.To)
+}
+
+// Options configures Open.
+type Options struct {
+	// Precompute builds the global demographic cube over the whole rating
+	// log at open time (used by browse statistics and the E5 ablation).
+	Precompute bool
+	// CubeConfig is the candidate-group configuration used for the global
+	// cube; per-query cubes are configured by the mining layer.
+	CubeConfig cube.Config
+	// CacheSize bounds the LRU result cache; 0 disables caching.
+	CacheSize int
+}
+
+// DefaultOptions enables precomputation and a small result cache.
+func DefaultOptions() Options {
+	return Options{Precompute: true, CubeConfig: cube.DefaultConfig(), CacheSize: 256}
+}
+
+// Store is the opened, indexed dataset.
+type Store struct {
+	ds     *model.Dataset
+	tuples []cube.Tuple // all ratings joined with reviewer demographics
+
+	itemTuples map[int][]int32 // item ID -> tuple indices, sorted by time
+
+	byGenre    map[string][]int // lower-cased genre -> item IDs
+	byActor    map[string][]int
+	byDirector map[string][]int
+	byTitle    map[string][]int // lower-cased full title -> item IDs
+	titleTerm  map[string][]int // lower-cased title word -> item IDs
+
+	minUnix, maxUnix int64
+
+	globalCube *cube.Cube // nil unless Options.Precompute
+	cache      *LRU       // nil unless Options.CacheSize > 0
+}
+
+// Open indexes a dataset. The dataset must already be valid (see
+// model.Dataset.Validate); Open trusts it and never mutates it.
+func Open(ds *model.Dataset, opts Options) (*Store, error) {
+	if ds == nil {
+		return nil, fmt.Errorf("store: nil dataset")
+	}
+	s := &Store{
+		ds:         ds,
+		itemTuples: make(map[int][]int32),
+		byGenre:    make(map[string][]int),
+		byActor:    make(map[string][]int),
+		byDirector: make(map[string][]int),
+		byTitle:    make(map[string][]int),
+		titleTerm:  make(map[string][]int),
+	}
+
+	s.tuples = make([]cube.Tuple, len(ds.Ratings))
+	for i, r := range ds.Ratings {
+		u := ds.UserByID(r.UserID)
+		if u == nil {
+			return nil, fmt.Errorf("store: rating %d references unknown user %d", i, r.UserID)
+		}
+		s.tuples[i] = cube.JoinRating(r, u)
+		if s.minUnix == 0 || r.Unix < s.minUnix {
+			s.minUnix = r.Unix
+		}
+		if r.Unix > s.maxUnix {
+			s.maxUnix = r.Unix
+		}
+		s.itemTuples[r.ItemID] = append(s.itemTuples[r.ItemID], int32(i))
+	}
+	for id := range s.itemTuples {
+		idxs := s.itemTuples[id]
+		sort.Slice(idxs, func(a, b int) bool {
+			ta, tb := s.tuples[idxs[a]].Unix, s.tuples[idxs[b]].Unix
+			if ta != tb {
+				return ta < tb
+			}
+			return idxs[a] < idxs[b]
+		})
+	}
+
+	for i := range ds.Items {
+		it := &ds.Items[i]
+		s.byTitle[norm(it.Title)] = append(s.byTitle[norm(it.Title)], it.ID)
+		for _, term := range tokenize(it.Title) {
+			s.titleTerm[term] = appendUnique(s.titleTerm[term], it.ID)
+		}
+		for _, g := range it.Genres {
+			s.byGenre[norm(g)] = append(s.byGenre[norm(g)], it.ID)
+		}
+		for _, a := range it.Actors {
+			s.byActor[norm(a)] = append(s.byActor[norm(a)], it.ID)
+		}
+		for _, d := range it.Directors {
+			s.byDirector[norm(d)] = append(s.byDirector[norm(d)], it.ID)
+		}
+	}
+
+	if opts.Precompute {
+		s.globalCube = cube.Build(s.tuples, opts.CubeConfig)
+	}
+	if opts.CacheSize > 0 {
+		s.cache = NewLRU(opts.CacheSize)
+	}
+	return s, nil
+}
+
+func norm(s string) string { return strings.ToLower(strings.TrimSpace(s)) }
+
+// tokenize lower-cases a title and splits it into alphanumeric words, so
+// punctuation ("Rings:" vs "rings") never blocks a term match.
+func tokenize(s string) []string {
+	return strings.FieldsFunc(strings.ToLower(s), func(r rune) bool {
+		return !(r >= 'a' && r <= 'z' || r >= '0' && r <= '9')
+	})
+}
+
+func appendUnique(xs []int, v int) []int {
+	if n := len(xs); n > 0 && xs[n-1] == v {
+		return xs
+	}
+	return append(xs, v)
+}
+
+// Dataset returns the underlying dataset.
+func (s *Store) Dataset() *model.Dataset { return s.ds }
+
+// NumTuples returns the size of the joined rating log.
+func (s *Store) NumTuples() int { return len(s.tuples) }
+
+// TimeRange returns the [min,max] rating timestamps in the log.
+func (s *Store) TimeRange() (int64, int64) { return s.minUnix, s.maxUnix }
+
+// GlobalCube returns the precomputed whole-log cube, or nil when Open ran
+// without precomputation.
+func (s *Store) GlobalCube() *cube.Cube { return s.globalCube }
+
+// Cache returns the store's result cache (nil when disabled).
+func (s *Store) Cache() *LRU { return s.cache }
+
+// ItemsByGenre returns the IDs of items tagged with the genre
+// (case-insensitive), in catalog order.
+func (s *Store) ItemsByGenre(genre string) []int { return cloneIDs(s.byGenre[norm(genre)]) }
+
+// ItemsByActor returns the IDs of items featuring the actor.
+func (s *Store) ItemsByActor(actor string) []int { return cloneIDs(s.byActor[norm(actor)]) }
+
+// ItemsByDirector returns the IDs of items by the director.
+func (s *Store) ItemsByDirector(director string) []int {
+	return cloneIDs(s.byDirector[norm(director)])
+}
+
+// ItemsByTitle returns the IDs of items whose full title matches
+// (case-insensitive).
+func (s *Store) ItemsByTitle(title string) []int { return cloneIDs(s.byTitle[norm(title)]) }
+
+// ItemsByTitleTerms returns the IDs of items whose title contains every
+// word of the query (the Figure-1 search box behaviour).
+func (s *Store) ItemsByTitleTerms(query string) []int {
+	terms := tokenize(query)
+	if len(terms) == 0 {
+		return nil
+	}
+	// Intersect posting lists, rarest first.
+	lists := make([][]int, len(terms))
+	for i, t := range terms {
+		lists[i] = s.titleTerm[t]
+		if len(lists[i]) == 0 {
+			return nil
+		}
+	}
+	sort.Slice(lists, func(a, b int) bool { return len(lists[a]) < len(lists[b]) })
+	out := cloneIDs(lists[0])
+	for _, l := range lists[1:] {
+		out = intersectSorted(out, l)
+		if len(out) == 0 {
+			return nil
+		}
+	}
+	return out
+}
+
+func cloneIDs(ids []int) []int {
+	if len(ids) == 0 {
+		return nil
+	}
+	out := make([]int, len(ids))
+	copy(out, ids)
+	return out
+}
+
+func intersectSorted(a, b []int) []int {
+	out := a[:0]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// RatingCount returns the number of ratings an item received.
+func (s *Store) RatingCount(itemID int) int { return len(s.itemTuples[itemID]) }
+
+// TuplesForItems gathers R_I: every rating tuple of the given items inside
+// the window. The result is a fresh slice; mutation is safe.
+func (s *Store) TuplesForItems(itemIDs []int, w TimeWindow) []cube.Tuple {
+	var out []cube.Tuple
+	for _, id := range itemIDs {
+		idxs := s.itemTuples[id]
+		lo, hi := windowBounds(s.tuples, idxs, w)
+		for _, ti := range idxs[lo:hi] {
+			out = append(out, s.tuples[ti])
+		}
+	}
+	return out
+}
+
+// windowBounds binary-searches the time-sorted tuple index list for the
+// window's sub-range.
+func windowBounds(tuples []cube.Tuple, idxs []int32, w TimeWindow) (int, int) {
+	lo := 0
+	if w.From != 0 {
+		lo = sort.Search(len(idxs), func(i int) bool { return tuples[idxs[i]].Unix >= w.From })
+	}
+	hi := len(idxs)
+	if w.To != 0 {
+		hi = sort.Search(len(idxs), func(i int) bool { return tuples[idxs[i]].Unix > w.To })
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
+}
+
+// ItemAgg returns the aggregate rating statistics for one item inside the
+// window (the single overall value the paper argues is insufficient).
+func (s *Store) ItemAgg(itemID int, w TimeWindow) cube.Agg {
+	var agg cube.Agg
+	idxs := s.itemTuples[itemID]
+	lo, hi := windowBounds(s.tuples, idxs, w)
+	for _, ti := range idxs[lo:hi] {
+		agg.Add(s.tuples[ti].Score)
+	}
+	return agg
+}

@@ -1,0 +1,602 @@
+// Package maprat is a reproduction of MapRat (Thirumuruganathan et al.,
+// PVLDB 5(12), 2012): meaningful explanation, interactive exploration and
+// geo-visualization of collaborative ratings.
+//
+// Given one or more items selected by a query over item attributes, the
+// engine mines the associated ratings for two kinds of meaningful
+// interpretations — Similarity Mining (groups of reviewers that agree) and
+// Diversity Mining (groups that consistently disagree) — using the
+// Randomized Hill Exploration algorithm over data-cube reviewer groups,
+// and renders each interpretation as a choropleth map anchored on the
+// groups' state geo-conditions.
+//
+// Typical use:
+//
+//	ds, _ := dataset.Generate(dataset.DefaultGenConfig())
+//	eng, _ := maprat.Open(ds, nil)
+//	q, _ := eng.ParseQuery(`movie:"Toy Story"`)
+//	ex, _ := eng.Explain(maprat.ExplainRequest{Query: q})
+//	fmt.Println(eng.RenderExploration(ex).ASCII(false))
+package maprat
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cube"
+	"repro/internal/dataset"
+	"repro/internal/explore"
+	"repro/internal/model"
+	"repro/internal/query"
+	"repro/internal/store"
+	"repro/internal/viz"
+)
+
+// Re-exported substrate types, so engine users need only this package.
+type (
+	// Dataset is the collaborative rating site ⟨I, U, R⟩.
+	Dataset = model.Dataset
+	// GenConfig parameterizes the synthetic MovieLens-1M-shaped generator.
+	GenConfig = dataset.GenConfig
+	// Query is a parsed item query.
+	Query = query.Query
+	// TimeWindow restricts ratings to an interval (zero = all time).
+	TimeWindow = store.TimeWindow
+	// Key is a canonical group descriptor over reviewer attributes.
+	Key = cube.Key
+	// Agg is a group rating aggregate (count / mean / stddev).
+	Agg = cube.Agg
+	// Settings are the mining knobs (K, coverage α, RHE parameters).
+	Settings = core.Settings
+	// Task selects a mining sub-problem.
+	Task = core.Task
+	// GroupStats is the Figure-3 exploration payload.
+	GroupStats = explore.GroupStats
+)
+
+// The two mining sub-problems.
+const (
+	SimilarityMining = core.SimilarityMining
+	DiversityMining  = core.DiversityMining
+)
+
+// Generate builds a synthetic dataset (see internal/dataset for the
+// planted structure that substitutes for the real MovieLens+IMDB data).
+func Generate(cfg GenConfig) (*Dataset, error) { return dataset.Generate(cfg) }
+
+// DefaultGenConfig is the full MovieLens 1M scale (~1M ratings).
+func DefaultGenConfig() GenConfig { return dataset.DefaultGenConfig() }
+
+// SmallGenConfig is a 1/12-scale configuration for tests and examples.
+func SmallGenConfig() GenConfig { return dataset.SmallGenConfig() }
+
+// LoadDir loads a MovieLens-1M-format directory (users.dat, movies.dat,
+// ratings.dat, optional cast.dat).
+func LoadDir(dir string) (*Dataset, error) { return dataset.LoadDir(dir) }
+
+// WriteDir writes a dataset in MovieLens 1M format.
+func WriteDir(dir string, ds *Dataset) error { return dataset.WriteDir(dir, ds) }
+
+// DefaultSettings mirrors the demo defaults (3 groups, 30% coverage).
+func DefaultSettings() Settings { return core.DefaultSettings() }
+
+// Options configures Open.
+type Options struct {
+	// Store controls indexing, precomputation and the result cache.
+	Store store.Options
+	// Cube is the candidate-group construction config used per query.
+	Cube cube.Config
+}
+
+// DefaultOptions enables precomputation, caching and geo-anchored groups.
+func DefaultOptions() Options {
+	return Options{Store: store.DefaultOptions(), Cube: cube.DefaultConfig()}
+}
+
+// Engine is an opened MapRat instance over one dataset.
+type Engine struct {
+	st      *store.Store
+	cubeCfg cube.Config
+}
+
+// Open indexes a dataset and returns the engine. A nil opts uses
+// DefaultOptions.
+func Open(ds *Dataset, opts *Options) (*Engine, error) {
+	o := DefaultOptions()
+	if opts != nil {
+		o = *opts
+	}
+	st, err := store.Open(ds, o.Store)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{st: st, cubeCfg: o.Cube}, nil
+}
+
+// Store exposes the underlying store for advanced callers (benchmarks,
+// the web front-end's browse endpoints).
+func (e *Engine) Store() *store.Store { return e.st }
+
+// Dataset returns the engine's dataset.
+func (e *Engine) Dataset() *Dataset { return e.st.Dataset() }
+
+// TimeRange returns the dataset's [min, max] rating timestamps.
+func (e *Engine) TimeRange() (int64, int64) { return e.st.TimeRange() }
+
+// ParseQuery parses the Figure-1 query syntax, e.g.
+// `actor:"Tom Hanks" AND genre:Thriller`.
+func (e *Engine) ParseQuery(s string) (Query, error) { return query.Parse(s) }
+
+// ExplainRequest selects what to mine.
+type ExplainRequest struct {
+	Query Query
+	// Settings defaults to DefaultSettings when zero-valued (detected via
+	// K == 0).
+	Settings Settings
+	// Tasks defaults to both sub-problems.
+	Tasks []Task
+	// CubeConfig overrides the engine's candidate-group construction for
+	// this request. The demo default anchors every group on a state; the
+	// intro's Twilight analysis (male-under-18 vs female-under-18) is the
+	// un-anchored framework mode — pass a config with RequireState=false
+	// to reproduce it.
+	CubeConfig *cube.Config
+	// DisableCache bypasses the store's result cache.
+	DisableCache bool
+	// DisableRelax fails immediately on an unsatisfiable coverage
+	// constraint instead of relaxing α stepwise (the web demo relaxes so
+	// every query renders something).
+	DisableRelax bool
+}
+
+// GroupResult is one explanation group.
+type GroupResult struct {
+	Key    Key
+	Phrase string // "female under-18 K-12 student reviewers from New York"
+	Icons  string // "♀ · under 18 · K-12 student"
+	State  string // two-letter geo-condition ("" if none)
+	Agg    Agg
+	// Share is the fraction of the query's ratings this group covers.
+	Share float64
+}
+
+// TaskResult is the outcome of one mining sub-problem.
+type TaskResult struct {
+	Task      Task
+	Groups    []GroupResult
+	Objective float64
+	Coverage  float64
+	Feasible  bool
+	Evals     int
+	// RelaxedCoverage is the α actually used after automatic relaxation
+	// (equal to the requested α when no relaxation was needed).
+	RelaxedCoverage float64
+}
+
+// Explanation is the full result of Explain: everything Figure 2 renders.
+type Explanation struct {
+	Query      Query
+	ItemIDs    []int
+	NumRatings int
+	Overall    Agg // the single aggregate the paper argues is insufficient
+	Results    []TaskResult
+	FromCache  bool
+	Elapsed    time.Duration
+}
+
+// Result returns the TaskResult for a task, or nil.
+func (ex *Explanation) Result(t Task) *TaskResult {
+	for i := range ex.Results {
+		if ex.Results[i].Task == t {
+			return &ex.Results[i]
+		}
+	}
+	return nil
+}
+
+// Errors reported by Explain.
+var (
+	ErrNoItems   = errors.New("maprat: query matched no items")
+	ErrNoRatings = errors.New("maprat: query matched items but no ratings in the window")
+)
+
+// Explain runs the full §2.3 pipeline: resolve the query to items, gather
+// R_I, construct the candidate groups, and solve each requested mining
+// sub-problem with RHE.
+func (e *Engine) Explain(req ExplainRequest) (*Explanation, error) {
+	start := time.Now()
+	if req.Settings.K == 0 {
+		req.Settings = DefaultSettings()
+	}
+	if len(req.Tasks) == 0 {
+		req.Tasks = []Task{SimilarityMining, DiversityMining}
+	}
+
+	cacheKey := e.cacheKey(req)
+	if !req.DisableCache && e.st.Cache() != nil {
+		if v, ok := e.st.Cache().Get(cacheKey); ok {
+			hit := *(v.(*Explanation))
+			hit.FromCache = true
+			hit.Elapsed = time.Since(start)
+			return &hit, nil
+		}
+	}
+
+	ids, err := query.Resolve(e.st, req.Query)
+	if err != nil {
+		return nil, err
+	}
+	if len(ids) == 0 {
+		return nil, ErrNoItems
+	}
+	tuples := e.st.TuplesForItems(ids, req.Query.Window)
+	if len(tuples) == 0 {
+		return nil, ErrNoRatings
+	}
+
+	c := cube.Build(tuples, e.adaptCubeConfig(req.CubeConfig, len(tuples)))
+	ex := &Explanation{Query: req.Query, ItemIDs: ids, NumRatings: len(tuples)}
+	for _, t := range tuples {
+		ex.Overall.Add(t.Score)
+	}
+	for _, task := range req.Tasks {
+		tr, err := e.solveTask(task, c, req)
+		if err != nil {
+			return nil, fmt.Errorf("%v: %w", task, err)
+		}
+		ex.Results = append(ex.Results, tr)
+	}
+	ex.Elapsed = time.Since(start)
+
+	if !req.DisableCache && e.st.Cache() != nil {
+		e.st.Cache().Put(cacheKey, ex)
+	}
+	return ex, nil
+}
+
+// adaptCubeConfig scales MinSupport down for small tuple sets so sparse
+// queries still produce candidates; override takes precedence over the
+// engine default.
+func (e *Engine) adaptCubeConfig(override *cube.Config, numTuples int) cube.Config {
+	cfg := e.cubeCfg
+	if override != nil {
+		cfg = *override
+	}
+	if adaptive := numTuples / 50; adaptive < cfg.MinSupport {
+		cfg.MinSupport = adaptive
+		if cfg.MinSupport < 3 {
+			cfg.MinSupport = 3
+		}
+	}
+	return cfg
+}
+
+// solveTask runs one sub-problem, relaxing the coverage constraint
+// stepwise when the instance is infeasible (unless disabled).
+func (e *Engine) solveTask(task Task, c *cube.Cube, req ExplainRequest) (TaskResult, error) {
+	s := req.Settings
+	alphas := []float64{s.Coverage}
+	if !req.DisableRelax {
+		for a := s.Coverage; a > 0.02; a /= 2 {
+			alphas = append(alphas, a/2)
+		}
+		alphas = append(alphas, 0)
+	}
+	var lastErr error
+	for _, alpha := range alphas {
+		s.Coverage = alpha
+		p, err := core.NewProblem(task, c, s)
+		if err != nil {
+			lastErr = err
+			if errors.Is(err, core.ErrInfeasible) {
+				continue
+			}
+			return TaskResult{}, err
+		}
+		sol := p.SolveRHE()
+		if !sol.Feasible {
+			lastErr = core.ErrInfeasible
+			continue
+		}
+		tr := TaskResult{
+			Task:            task,
+			Objective:       sol.Objective,
+			Coverage:        sol.Coverage,
+			Feasible:        sol.Feasible,
+			Evals:           sol.Evals,
+			RelaxedCoverage: alpha,
+		}
+		for _, gi := range sol.Groups {
+			tr.Groups = append(tr.Groups, groupResult(&c.Groups[gi], len(c.Tuples)))
+		}
+		return tr, nil
+	}
+	return TaskResult{}, lastErr
+}
+
+func groupResult(g *cube.Group, total int) GroupResult {
+	state := ""
+	if g.Key.Has(cube.State) {
+		state = cube.StateCode(g.Key[cube.State])
+	}
+	share := 0.0
+	if total > 0 {
+		share = float64(len(g.Members)) / float64(total)
+	}
+	return GroupResult{
+		Key:    g.Key,
+		Phrase: g.Key.Phrase(),
+		Icons:  viz.Icons(g.Key),
+		State:  state,
+		Agg:    g.Agg,
+		Share:  share,
+	}
+}
+
+func (e *Engine) cacheKey(req ExplainRequest) string {
+	cubeCfg := e.cubeCfg
+	if req.CubeConfig != nil {
+		cubeCfg = *req.CubeConfig
+	}
+	return fmt.Sprintf("explain|%s|k=%d|a=%.3f|l=%.2f|sb=%.2f|p=%v|seed=%d|tasks=%v|relax=%v|cube=%+v",
+		req.Query.String(), req.Settings.K, req.Settings.Coverage,
+		req.Settings.Lambda, req.Settings.SiblingBoost, req.Settings.Profile,
+		req.Settings.Seed, req.Tasks, !req.DisableRelax, cubeCfg)
+}
+
+// ExploreGroup recomputes the Figure-3 exploration for one explanation
+// group: full statistics (histogram, city drill-down, timeline) plus the
+// sibling groups to compare against.
+func (e *Engine) ExploreGroup(q Query, key Key, buckets int) (*GroupStats, []GroupResult, error) {
+	ids, err := query.Resolve(e.st, q)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(ids) == 0 {
+		return nil, nil, ErrNoItems
+	}
+	tuples := e.st.TuplesForItems(ids, q.Window)
+	if len(tuples) == 0 {
+		return nil, nil, ErrNoRatings
+	}
+	cfg := e.adaptCubeConfig(nil, len(tuples))
+	if !key.Has(cube.State) {
+		// The group came from an un-anchored (framework-mode) mining run;
+		// rebuild the cube accordingly or the key cannot materialize.
+		cfg.RequireState = false
+	}
+	c := cube.Build(tuples, cfg)
+	g, ok := c.Group(key)
+	if !ok {
+		return nil, nil, fmt.Errorf("maprat: group %v not present for query %s", key, q)
+	}
+	st := explore.Stats(tuples, g, buckets)
+	var related []GroupResult
+	for _, rg := range explore.Related(c, g) {
+		related = append(related, groupResult(rg, len(tuples)))
+	}
+	return &st, related, nil
+}
+
+// Refinement pairs a drill-deeper group (the parent's description plus
+// one more attribute-value pair) with its behavioural deviation.
+type Refinement struct {
+	Group GroupResult
+	// Added names the attribute the refinement constrains beyond the
+	// parent ("gender", "age", "occupation", "state").
+	Added string
+	// Delta is the refinement's mean minus the parent's mean.
+	Delta float64
+}
+
+// RefineGroup returns the most deviant drill-deeper refinements of a
+// group for the query, capped at limit (0 = all) — the paper's "drill
+// deeper" exploration beyond city statistics.
+func (e *Engine) RefineGroup(q Query, key Key, limit int) ([]Refinement, error) {
+	ids, err := query.Resolve(e.st, q)
+	if err != nil {
+		return nil, err
+	}
+	if len(ids) == 0 {
+		return nil, ErrNoItems
+	}
+	tuples := e.st.TuplesForItems(ids, q.Window)
+	if len(tuples) == 0 {
+		return nil, ErrNoRatings
+	}
+	cfg := e.adaptCubeConfig(nil, len(tuples))
+	if !key.Has(cube.State) {
+		cfg.RequireState = false
+	}
+	c := cube.Build(tuples, cfg)
+	g, ok := c.Group(key)
+	if !ok {
+		return nil, fmt.Errorf("maprat: group %v not present for query %s", key, q)
+	}
+	var out []Refinement
+	for _, ref := range explore.Refinements(c, g) {
+		out = append(out, Refinement{
+			Group: groupResult(ref.Group, len(tuples)),
+			Added: ref.Added.String(),
+			Delta: ref.Delta,
+		})
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	return out, nil
+}
+
+// DrillMine runs the paper's drill-down one level further than statistics:
+// given a geo-anchored explanation group, it mines the best city-anchored
+// sub-groups *inside* that group ("if the original geo condition was over
+// a state, the drill down provides city level" views). The returned
+// TaskResult's groups all carry a city condition.
+func (e *Engine) DrillMine(q Query, parent Key, task Task, s Settings) (*TaskResult, error) {
+	if s.K == 0 {
+		s = DefaultSettings()
+	}
+	ids, err := query.Resolve(e.st, q)
+	if err != nil {
+		return nil, err
+	}
+	if len(ids) == 0 {
+		return nil, ErrNoItems
+	}
+	tuples := e.st.TuplesForItems(ids, q.Window)
+	if len(tuples) == 0 {
+		return nil, ErrNoRatings
+	}
+	pcfg := e.adaptCubeConfig(nil, len(tuples))
+	if !parent.Has(cube.State) {
+		pcfg.RequireState = false
+	}
+	pc := cube.Build(tuples, pcfg)
+	pg, ok := pc.Group(parent)
+	if !ok {
+		return nil, fmt.Errorf("maprat: group %v not present for query %s", parent, q)
+	}
+
+	// The sub-problem operates on the parent's tuples only; candidates are
+	// city-anchored cells of that slice.
+	sub := make([]cube.Tuple, 0, len(pg.Members))
+	for _, ti := range pg.Members {
+		sub = append(sub, tuples[ti])
+	}
+	cfg := cube.Config{
+		RequireCity: true,
+		MinSupport:  maxInt(3, len(sub)/50),
+		MaxAVPairs:  parent.NumConstrained() + 2,
+		SkipApex:    true,
+	}
+	c := cube.Build(sub, cfg)
+	p, err := core.NewProblem(task, c, s)
+	if err != nil {
+		return nil, fmt.Errorf("maprat: drill mining: %w", err)
+	}
+	sol := p.SolveRHE()
+	tr := &TaskResult{
+		Task:            task,
+		Objective:       sol.Objective,
+		Coverage:        sol.Coverage,
+		Feasible:        sol.Feasible,
+		Evals:           sol.Evals,
+		RelaxedCoverage: s.Coverage,
+	}
+	for _, gi := range sol.Groups {
+		tr.Groups = append(tr.Groups, groupResult(&c.Groups[gi], len(sub)))
+	}
+	return tr, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// StateOverview is one row of the browse-mode choropleth: a state's
+// overall rating behaviour across the whole log (computed from the
+// precomputed global cube, so it is O(states)).
+type StateOverview struct {
+	State string
+	Agg   Agg
+}
+
+// BrowseStates returns every state's whole-log aggregate, sorted by
+// rating count descending. It requires the store to have been opened with
+// precomputation (the default); otherwise it returns nil.
+func (e *Engine) BrowseStates() []StateOverview {
+	gc := e.st.GlobalCube()
+	if gc == nil {
+		return nil
+	}
+	var out []StateOverview
+	for i := range gc.Groups {
+		g := &gc.Groups[i]
+		if g.Key.NumConstrained() != 1 || !g.Key.Has(cube.State) {
+			continue
+		}
+		out = append(out, StateOverview{State: cube.StateCode(g.Key[cube.State]), Agg: g.Agg})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Agg.Count != out[b].Agg.Count {
+			return out[a].Agg.Count > out[b].Agg.Count
+		}
+		return out[a].State < out[b].State
+	})
+	return out
+}
+
+// EvolutionPoint is one time-slider position: the explanation mined from
+// one window of the rating log.
+type EvolutionPoint struct {
+	Window      TimeWindow
+	Explanation *Explanation
+	// Err records windows that could not be mined (e.g. no ratings);
+	// the slider renders them as gaps rather than failing the whole
+	// sweep.
+	Err error
+}
+
+// Evolution mines the same query across consecutive yearly windows — the
+// §3.1 time slider ("observe reviewer groups ... and how they change over
+// time").
+func (e *Engine) Evolution(req ExplainRequest) ([]EvolutionPoint, error) {
+	lo, hi := e.st.TimeRange()
+	w := req.Query.Window
+	if !w.IsAll() {
+		if w.From != 0 {
+			lo = w.From
+		}
+		if w.To != 0 {
+			hi = w.To
+		}
+	}
+	windows := explore.YearWindows(lo, hi)
+	if len(windows) == 0 {
+		return nil, fmt.Errorf("maprat: empty time range")
+	}
+	out := make([]EvolutionPoint, 0, len(windows))
+	for _, win := range windows {
+		r := req
+		r.Query.Window = win
+		ex, err := e.Explain(r)
+		out = append(out, EvolutionPoint{Window: win, Explanation: ex, Err: err})
+	}
+	return out, nil
+}
+
+// RenderExploration converts an explanation into the paper's set of
+// choropleth maps (one per sub-problem), ready for SVG or terminal
+// rendering.
+func (e *Engine) RenderExploration(ex *Explanation) *viz.Exploration {
+	out := &viz.Exploration{Query: ex.Query.String()}
+	for _, tr := range ex.Results {
+		m := viz.Map{Title: taskTitle(tr.Task, ex)}
+		for _, g := range tr.Groups {
+			m.Shades = append(m.Shades, viz.Shade{
+				State:   g.State,
+				Mean:    g.Agg.Mean(),
+				Support: g.Agg.Count,
+				Label:   g.Phrase,
+				Icons:   g.Icons,
+			})
+		}
+		out.Maps = append(out.Maps, m)
+	}
+	return out
+}
+
+func taskTitle(t Task, ex *Explanation) string {
+	name := "Similarity Mining (reviewers who agree)"
+	if t == DiversityMining {
+		name = "Diversity Mining (reviewers who disagree)"
+	}
+	return fmt.Sprintf("%s — %s (%d ratings, overall μ=%.2f)",
+		name, ex.Query.String(), ex.NumRatings, ex.Overall.Mean())
+}
