@@ -319,6 +319,47 @@ func BenchmarkE8_Rendering(b *testing.B) {
 	})
 }
 
+// BenchmarkE10_ParallelRestarts measures the worker-pool RHE through the
+// public API: identical Solutions, wall clock scaling with Workers
+// (workers=0 is the GOMAXPROCS default).
+func BenchmarkE10_ParallelRestarts(b *testing.B) {
+	e := benchEngine(b)
+	q := benchQuery(b, e, `genre:Drama`)
+	for _, workers := range []int{1, 2, 4, 0} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			s := DefaultSettings()
+			s.Restarts = 32
+			s.Workers = workers
+			req := ExplainRequest{Query: q, Settings: s, Tasks: []Task{SimilarityMining}, DisableCache: true}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Explain(req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE11_ConcurrentIdenticalQueries measures the demo-booth hot
+// spot end to end: many clients asking the same question at once, served
+// by the cache with the singleflight layer collapsing the misses.
+func BenchmarkE11_ConcurrentIdenticalQueries(b *testing.B) {
+	e := benchEngine(b)
+	q := benchQuery(b, e, `genre:Comedy`)
+	req := ExplainRequest{Query: q}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := e.Explain(req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkE9_TimeSlider measures the §3.1 per-year mining sweep.
 func BenchmarkE9_TimeSlider(b *testing.B) {
 	e := benchEngine(b)

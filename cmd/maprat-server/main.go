@@ -8,9 +8,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
-	"net/http"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro"
@@ -26,6 +28,7 @@ func main() {
 		dataDir = flag.String("data", "", "MovieLens-format data directory (default: synthetic)")
 		scale   = flag.String("scale", "small", "synthetic data scale when -data is unset: small|full")
 		seed    = flag.Int64("seed", 1, "generator seed")
+		timeout = flag.Duration("timeout", server.DefaultRequestTimeout, "per-request mining timeout")
 	)
 	flag.Parse()
 
@@ -59,5 +62,16 @@ func main() {
 	log.Printf("ready in %s: %d ratings, %d movies, %d reviewers",
 		time.Since(start).Round(time.Millisecond), stats.Ratings, stats.Items, stats.Users)
 	log.Printf("listening on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, server.New(eng)))
+
+	// SIGINT/SIGTERM drain in-flight requests before exiting; a second
+	// signal kills the process the default way (AfterFunc restores the
+	// default disposition as soon as the first signal lands).
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	context.AfterFunc(ctx, stop)
+	srv := server.NewWithConfig(eng, server.Config{RequestTimeout: *timeout})
+	if err := srv.ListenAndServe(ctx, *addr); err != nil {
+		log.Fatal(err)
+	}
+	log.Print("shut down cleanly")
 }

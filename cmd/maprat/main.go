@@ -55,9 +55,11 @@ func main() {
 	}
 	if *fromYear != 0 {
 		q.Window.From = time.Date(*fromYear, 1, 1, 0, 0, 0, 0, time.UTC).Unix()
+		q.Window.HasFrom = true
 	}
 	if *toYear != 0 {
 		q.Window.To = time.Date(*toYear+1, 1, 1, 0, 0, 0, 0, time.UTC).Unix() - 1
+		q.Window.HasTo = true
 	}
 
 	settings := maprat.DefaultSettings()

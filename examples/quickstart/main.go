@@ -4,8 +4,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"repro"
 )
@@ -34,7 +36,12 @@ func main() {
 	}
 
 	// 4. Explain: mines the best reviewer groups for both sub-problems.
-	ex, err := eng.Explain(maprat.ExplainRequest{Query: q})
+	//    The context bounds the mine — RHE restarts run across all cores
+	//    and stop early if the deadline fires (plain eng.Explain works too
+	//    when no deadline is wanted).
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	ex, err := eng.ExplainContext(ctx, maprat.ExplainRequest{Query: q})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -3,7 +3,8 @@ package core
 import (
 	"fmt"
 	"math"
-	"math/rand"
+
+	"repro/internal/rng"
 )
 
 // MaxExhaustiveSubsets bounds SolveExhaustive's enumeration so tests and
@@ -141,11 +142,11 @@ func (p *Problem) SolveGreedy() Solution {
 // SolveRandom returns the best of n random coverage-repaired selections —
 // the "how much does hill climbing add" control for E6.
 func (p *Problem) SolveRandom(n int) Solution {
-	rng := rand.New(rand.NewSource(p.Settings.Seed))
+	gen := rng.New(p.Settings.Seed)
 	best := Solution{Objective: math.Inf(1)}
 	evals := 0
 	for i := 0; i < n; i++ {
-		sel, ok := p.randomFeasibleInit(rng)
+		sel, ok := p.randomFeasibleInit(gen)
 		if !ok {
 			continue
 		}

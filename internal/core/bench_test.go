@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/cube"
@@ -47,6 +49,26 @@ func BenchmarkSolveRHE_DM(b *testing.B) {
 		if sol := p.SolveRHE(); !sol.Feasible {
 			b.Fatal("infeasible")
 		}
+	}
+}
+
+// BenchmarkSolveRHEWorkers shows the multi-restart speedup: identical
+// Solutions, wall clock scaling with the worker pool (compare workers=1
+// against workers=GOMAXPROCS).
+func BenchmarkSolveRHEWorkers(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			p := benchInstance(b, SimilarityMining)
+			p.Settings.Restarts = 32
+			p.Settings.Workers = workers
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if sol := p.SolveRHE(); !sol.Feasible {
+					b.Fatal("infeasible")
+				}
+			}
+		})
 	}
 }
 

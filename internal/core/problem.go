@@ -70,6 +70,11 @@ type Settings struct {
 	SampleSize int
 	// Seed makes every solver deterministic.
 	Seed int64
+	// Workers bounds the goroutines SolveRHE spreads its restarts over
+	// (0 = GOMAXPROCS, 1 = sequential). Every restart draws from its own
+	// sub-seeded generator, so Workers never changes the Solution — only
+	// the wall clock.
+	Workers int
 }
 
 // DefaultSettings mirrors the demo defaults: the best 3 groups covering at
@@ -120,8 +125,9 @@ var ErrNoCandidates = errors.New("core: no candidate groups")
 var ErrInfeasible = errors.New("core: coverage constraint unsatisfiable with K groups")
 
 // Problem is one constructed optimization instance over a candidate cube.
-// A Problem is not safe for concurrent use (it reuses scratch buffers);
-// build one per goroutine.
+// A Problem is not safe for concurrent use by multiple callers (it reuses
+// scratch buffers); build one per goroutine. SolveRHE parallelizes
+// internally by giving each of its workers a private scratch clone.
 type Problem struct {
 	Task     Task
 	Cube     *cube.Cube
@@ -195,6 +201,16 @@ func NewProblem(task Task, c *cube.Cube, s Settings) (*Problem, error) {
 		return nil, ErrInfeasible
 	}
 	return p, nil
+}
+
+// scratchClone returns a shallow copy sharing the immutable instance data
+// (cube, candidate orders) but owning fresh coverage scratch, so solver
+// workers can evaluate selections concurrently.
+func (p *Problem) scratchClone() *Problem {
+	q := *p
+	q.mark = make([]int32, len(p.Cube.Tuples))
+	q.epoch = 0
+	return &q
 }
 
 // required returns the absolute tuple count the coverage constraint needs.

@@ -1,9 +1,15 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/rng"
 )
 
 // rhePatience is how many fresh neighbourhood samples a restart draws
@@ -17,46 +23,183 @@ const rhePatience = 3
 // each drawing a random coverage-repaired selection and hill-climbing over
 // a sampled swap/add/drop neighbourhood until no sampled move improves the
 // objective while staying feasible. The best local optimum across restarts
-// wins. Deterministic under Settings.Seed.
+// wins.
+//
+// Each restart r draws from its own sub-seeded generator (rng.Sub(Seed, r)),
+// so the result is a pure function of Settings.Seed regardless of how many
+// worker goroutines (Settings.Workers; 0 means GOMAXPROCS) execute the
+// restarts: the parallel and sequential paths return byte-identical
+// Solutions.
 func (p *Problem) SolveRHE() Solution {
-	rng := rand.New(rand.NewSource(p.Settings.Seed))
-	best := Solution{Objective: math.Inf(1)}
-	evals := 0
+	sol, _ := p.SolveRHECtx(context.Background())
+	return sol
+}
 
-	for r := 0; r < p.Settings.Restarts; r++ {
-		sel, ok := p.randomFeasibleInit(rng)
-		if !ok {
-			continue
-		}
-		obj, _, _ := p.Evaluate(sel)
-		evals++
-		// Re-sampling only helps when the sample cannot already cover the
-		// whole candidate set.
-		patience := rhePatience
-		if p.Settings.SampleSize >= len(p.cands) {
-			patience = 1
-		}
-		misses := 0
-		for iter := 0; iter < p.Settings.MaxIters && misses < patience; iter++ {
-			newSel, newObj, e, moved := p.bestSampledMove(rng, sel, obj)
-			evals += e
-			if !moved {
-				misses++
-				continue
-			}
-			misses = 0
-			sel, obj = newSel, newObj
-		}
-		cand := Solution{Groups: clone(sel)}
-		cand.Objective, cand.Coverage, cand.Feasible = p.Evaluate(cand.Groups)
-		evals++
-		if cand.Better(best) {
-			best = cand
-		}
+// SolveRHECtx is SolveRHE with cancellation: it stops between hill-climb
+// iterations once ctx is done and returns ctx.Err(). The partial best is
+// discarded — a cancelled mine has no useful answer to cache.
+func (p *Problem) SolveRHECtx(ctx context.Context) (Solution, error) {
+	workers := p.Settings.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	best.Evals = evals
+	if workers > p.Settings.Restarts {
+		workers = p.Settings.Restarts
+	}
+
+	if workers <= 1 {
+		var fold rheFold
+		for r := 0; r < p.Settings.Restarts; r++ {
+			if ctx.Err() != nil {
+				return Solution{}, ctx.Err()
+			}
+			fold.add(p.runRestart(ctx, r), r)
+		}
+		if err := ctx.Err(); err != nil {
+			return Solution{}, err
+		}
+		return p.finish(fold), nil
+	}
+
+	// Work-stealing over restart indices: the restart's generator depends
+	// only on its index, and each worker climbs on a private scratch
+	// clone, so the schedule cannot influence the outcome. Each worker
+	// folds its own running best (O(workers) memory, not O(restarts));
+	// the index tie-break in rheFold makes the merged result identical
+	// to the sequential first-wins fold.
+	folds := make([]rheFold, workers)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(fold *rheFold) {
+			defer wg.Done()
+			q := p.scratchClone()
+			for ctx.Err() == nil {
+				r := int(next.Add(1)) - 1
+				if r >= p.Settings.Restarts {
+					return
+				}
+				fold.add(q.runRestart(ctx, r), r)
+			}
+		}(&folds[w])
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return Solution{}, err
+	}
+	var merged rheFold
+	for w := range folds {
+		merged.merge(folds[w])
+	}
+	return p.finish(merged), nil
+}
+
+// restartResult is one restart's local optimum. ok is false when the
+// restart could not even draw a feasible initial selection.
+type restartResult struct {
+	sol   Solution
+	evals int
+	ok    bool
+}
+
+// rheFold accumulates restart results into the running best. It keeps the
+// originating restart index so merging partial folds reproduces the
+// sequential loop exactly: Better is a preorder (feasibility, then strict
+// objective), and the sequential loop keeps the earlier restart on ties,
+// so (Better, lowest-index) is the total order both paths minimize.
+type rheFold struct {
+	best    Solution
+	bestIdx int // restart index of best; -1 while empty
+	evals   int
+
+	inited bool
+}
+
+func (f *rheFold) add(r restartResult, idx int) {
+	if !f.inited {
+		f.bestIdx, f.inited = -1, true
+	}
+	f.evals += r.evals
+	if !r.ok {
+		return
+	}
+	if f.bestIdx < 0 || betterAt(r.sol, idx, f.best, f.bestIdx) {
+		f.best, f.bestIdx = r.sol, idx
+	}
+}
+
+func (f *rheFold) merge(other rheFold) {
+	if !f.inited {
+		f.bestIdx, f.inited = -1, true
+	}
+	f.evals += other.evals
+	if other.bestIdx < 0 {
+		return
+	}
+	if f.bestIdx < 0 || betterAt(other.best, other.bestIdx, f.best, f.bestIdx) {
+		f.best, f.bestIdx = other.best, other.bestIdx
+	}
+}
+
+// betterAt orders (solution, restart index) pairs: Better first, earliest
+// restart on ties.
+func betterAt(a Solution, ai int, b Solution, bi int) bool {
+	if a.Better(b) {
+		return true
+	}
+	if b.Better(a) {
+		return false
+	}
+	return ai < bi
+}
+
+// finish converts a completed fold into the returned Solution.
+func (p *Problem) finish(f rheFold) Solution {
+	best := f.best
+	if f.bestIdx < 0 {
+		best = Solution{Objective: math.Inf(1)}
+	}
+	best.Evals = f.evals
 	p.sortForPresentation(best.Groups)
 	return best
+}
+
+// runRestart executes restart r: sub-seeded random init, then sampled hill
+// climbing. It uses p's scratch buffers, so concurrent callers must operate
+// on distinct scratch clones.
+func (p *Problem) runRestart(ctx context.Context, r int) restartResult {
+	gen := rng.Sub(p.Settings.Seed, int64(r))
+	sel, ok := p.randomFeasibleInit(gen)
+	if !ok {
+		return restartResult{}
+	}
+	obj, _, _ := p.Evaluate(sel)
+	evals := 1
+	// Re-sampling only helps when the sample cannot already cover the
+	// whole candidate set.
+	patience := rhePatience
+	if p.Settings.SampleSize >= len(p.cands) {
+		patience = 1
+	}
+	misses := 0
+	for iter := 0; iter < p.Settings.MaxIters && misses < patience; iter++ {
+		if ctx.Err() != nil {
+			return restartResult{}
+		}
+		newSel, newObj, e, moved := p.bestSampledMove(gen, sel, obj)
+		evals += e
+		if !moved {
+			misses++
+			continue
+		}
+		misses = 0
+		sel, obj = newSel, newObj
+	}
+	cand := Solution{Groups: clone(sel)}
+	cand.Objective, cand.Coverage, cand.Feasible = p.Evaluate(cand.Groups)
+	evals++
+	return restartResult{sol: cand, evals: evals, ok: true}
 }
 
 // randomFeasibleInit draws K random candidates biased toward high support,

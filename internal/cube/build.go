@@ -2,7 +2,9 @@ package cube
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 )
 
 // Group is one materialized cube cell over the input tuples: a candidate
@@ -82,6 +84,19 @@ type Cube struct {
 	byKey map[Key]int
 }
 
+// parallelBuildMin is the tuple count below which Build stays sequential:
+// sharding a small R_I costs more in goroutine start-up and map merging
+// than the scan saves. Per-query cubes (hundreds to tens of thousands of
+// tuples) stay on the fast single-threaded path; the store's whole-log
+// precomputation goes wide.
+const parallelBuildMin = 1 << 15
+
+// cell accumulates one cube cell during construction.
+type cell struct {
+	agg     Agg
+	members []int32
+}
+
 // Build materializes every cube cell with at least one tuple that passes
 // cfg's pruning rules. This is the "set of groups that has at least one
 // rating tuple in R_I are then constructed" step of §2.3.
@@ -89,15 +104,82 @@ type Cube struct {
 // Each tuple contributes to every subset of its attribute values (2^4 cells,
 // or 2^3 when the state condition is mandatory), so construction is
 // O(|R_I| · 2^|UA|) with a single map insert per cell.
+//
+// Large inputs are sharded across GOMAXPROCS goroutines, each building the
+// cells of a contiguous tuple partition; the partitions merge with the O(1)
+// Agg merge. The output is byte-identical to the sequential build: Agg is
+// integer-valued (so merging is associative), member lists stay ascending
+// because partitions are contiguous and merged in order, and the final
+// ordering is re-established by the deterministic sort below.
 func Build(tuples []Tuple, cfg Config) *Cube {
-	type cell struct {
-		agg     Agg
-		members []int32
+	workers := runtime.GOMAXPROCS(0)
+	if len(tuples) < parallelBuildMin {
+		workers = 1
 	}
-	cells := make(map[Key]*cell, 1024)
+	return buildWith(tuples, cfg, workers)
+}
 
+func buildWith(tuples []Tuple, cfg Config, workers int) *Cube {
 	free := freeAttrs(cfg) // attributes allowed to vary in the subset mask
-	for ti := range tuples {
+
+	var cells map[Key]*cell
+	if workers <= 1 || len(tuples) < 2*workers {
+		cells = buildCells(tuples, cfg, free, 0, len(tuples))
+	} else {
+		parts := make([]map[Key]*cell, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo := w * len(tuples) / workers
+			hi := (w + 1) * len(tuples) / workers
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				parts[w] = buildCells(tuples, cfg, free, lo, hi)
+			}(w, lo, hi)
+		}
+		wg.Wait()
+		// Merge in partition order so every member list stays ascending,
+		// exactly as the sequential scan would have appended it.
+		cells = parts[0]
+		for _, part := range parts[1:] {
+			for k, pc := range part {
+				if c, ok := cells[k]; ok {
+					c.agg.Merge(pc.agg)
+					c.members = append(c.members, pc.members...)
+				} else {
+					cells[k] = pc
+				}
+			}
+		}
+	}
+
+	cb := &Cube{Tuples: tuples, Cfg: cfg, byKey: make(map[Key]int)}
+	for k, c := range cells {
+		if c.agg.Count < cfg.MinSupport {
+			continue
+		}
+		cb.Groups = append(cb.Groups, Group{Key: k, Agg: c.agg, Members: c.members})
+	}
+	// Deterministic order: by support descending, then key for ties, so the
+	// mining layer's seeded randomness is reproducible run to run.
+	sort.Slice(cb.Groups, func(i, j int) bool {
+		gi, gj := &cb.Groups[i], &cb.Groups[j]
+		if gi.Agg.Count != gj.Agg.Count {
+			return gi.Agg.Count > gj.Agg.Count
+		}
+		return lessKey(gi.Key, gj.Key)
+	})
+	for i := range cb.Groups {
+		cb.byKey[cb.Groups[i].Key] = i
+	}
+	return cb
+}
+
+// buildCells scans tuples[lo:hi] and materializes their cells. Member
+// indices are global tuple indices, appended in ascending order.
+func buildCells(tuples []Tuple, cfg Config, free []Attr, lo, hi int) map[Key]*cell {
+	cells := make(map[Key]*cell, 1024)
+	for ti := lo; ti < hi; ti++ {
 		t := &tuples[ti]
 		if cfg.RequireState && t.Vals[State] == Wildcard {
 			continue // unresolvable zip: cannot satisfy any geo-anchored group
@@ -142,27 +224,7 @@ func Build(tuples []Tuple, cfg Config) *Cube {
 			c.members = append(c.members, int32(ti))
 		}
 	}
-
-	cb := &Cube{Tuples: tuples, Cfg: cfg, byKey: make(map[Key]int)}
-	for k, c := range cells {
-		if c.agg.Count < cfg.MinSupport {
-			continue
-		}
-		cb.Groups = append(cb.Groups, Group{Key: k, Agg: c.agg, Members: c.members})
-	}
-	// Deterministic order: by support descending, then key for ties, so the
-	// mining layer's seeded randomness is reproducible run to run.
-	sort.Slice(cb.Groups, func(i, j int) bool {
-		gi, gj := &cb.Groups[i], &cb.Groups[j]
-		if gi.Agg.Count != gj.Agg.Count {
-			return gi.Agg.Count > gj.Agg.Count
-		}
-		return lessKey(gi.Key, gj.Key)
-	})
-	for i := range cb.Groups {
-		cb.byKey[cb.Groups[i].Key] = i
-	}
-	return cb
+	return cells
 }
 
 func freeAttrs(cfg Config) []Attr {

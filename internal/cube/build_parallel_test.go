@@ -1,0 +1,51 @@
+package cube
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestBuildWithWorkersIsByteIdentical pins the sharded build's contract:
+// for any worker count, the materialized cube — group order, keys,
+// aggregates and member lists — equals the sequential scan exactly.
+func TestBuildWithWorkersIsByteIdentical(t *testing.T) {
+	tuples := randomTuples(5000, 77)
+	// Plant a few wildcard states so the RequireState skip path is
+	// exercised across partition boundaries too.
+	for i := 0; i < len(tuples); i += 97 {
+		tuples[i].Vals[State] = Wildcard
+	}
+	configs := []Config{
+		{RequireState: true, MinSupport: 8, MaxAVPairs: 2, SkipApex: true},
+		{RequireState: false, MinSupport: 5, MaxAVPairs: 3},
+		{RequireState: false, MinSupport: 1}, // no pruning at all
+	}
+	for _, cfg := range configs {
+		seq := buildWith(tuples, cfg, 1)
+		for _, workers := range []int{2, 3, 4, 7, 16} {
+			par := buildWith(tuples, cfg, workers)
+			if len(par.Groups) != len(seq.Groups) {
+				t.Fatalf("cfg %+v workers %d: %d groups vs %d sequential",
+					cfg, workers, len(par.Groups), len(seq.Groups))
+			}
+			for i := range seq.Groups {
+				if !reflect.DeepEqual(seq.Groups[i], par.Groups[i]) {
+					t.Fatalf("cfg %+v workers %d: group %d differs:\nseq %+v\npar %+v",
+						cfg, workers, i, seq.Groups[i], par.Groups[i])
+				}
+			}
+		}
+	}
+}
+
+// TestBuildWithMoreWorkersThanTuples covers the degenerate partitions
+// (empty shards) the integer split produces.
+func TestBuildWithMoreWorkersThanTuples(t *testing.T) {
+	tuples := randomTuples(5, 3)
+	cfg := Config{MinSupport: 1}
+	seq := buildWith(tuples, cfg, 1)
+	par := buildWith(tuples, cfg, 16)
+	if !reflect.DeepEqual(seq.Groups, par.Groups) {
+		t.Fatalf("tiny input diverged: %+v vs %+v", par.Groups, seq.Groups)
+	}
+}

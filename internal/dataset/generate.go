@@ -10,6 +10,7 @@ import (
 	"repro/internal/cube"
 	"repro/internal/geo"
 	"repro/internal/model"
+	"repro/internal/rng"
 )
 
 // GenConfig parameterizes the synthetic generator. The defaults reproduce
@@ -245,8 +246,7 @@ func Generate(cfg GenConfig) (*model.Dataset, error) {
 	if !cfg.End.After(cfg.Start) {
 		return nil, fmt.Errorf("dataset: empty time window %v..%v", cfg.Start, cfg.End)
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	g := &generator{cfg: cfg, rng: rng}
+	g := &generator{cfg: cfg, rng: rng.New(cfg.Seed)}
 	g.buildUsers()
 	g.buildMovies()
 	g.buildRatings()

@@ -175,7 +175,7 @@ func YearWindows(from, to int64) []store.TimeWindow {
 		if hi > to {
 			hi = to
 		}
-		out = append(out, store.TimeWindow{From: lo, To: hi})
+		out = append(out, store.Between(lo, hi))
 	}
 	return out
 }
@@ -199,7 +199,7 @@ func SlidingWindows(from, to int64, n int) []store.TimeWindow {
 		if i == n-1 {
 			hi = to
 		}
-		out = append(out, store.TimeWindow{From: lo, To: hi})
+		out = append(out, store.Between(lo, hi))
 	}
 	return out
 }

@@ -7,9 +7,12 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"html/template"
+	"net"
 	"net/http"
 	"strconv"
 	"time"
@@ -20,15 +23,46 @@ import (
 	"repro/internal/viz"
 )
 
-// Server routes MapRat's HTTP endpoints.
+// Config tunes the server's request lifecycle.
+type Config struct {
+	// RequestTimeout bounds each mining request; the request's context is
+	// cancelled at the deadline and the handler answers 504. Zero means
+	// DefaultRequestTimeout; negative disables the per-request deadline.
+	RequestTimeout time.Duration
+	// ShutdownGrace bounds how long ListenAndServe waits for in-flight
+	// requests after its context ends. Zero means DefaultShutdownGrace.
+	ShutdownGrace time.Duration
+}
+
+// The lifecycle defaults: generous for full-scale mining, finite so a
+// stuck request cannot pin a connection forever.
+const (
+	DefaultRequestTimeout = 30 * time.Second
+	DefaultShutdownGrace  = 10 * time.Second
+)
+
+// Server routes MapRat's HTTP endpoints. Every mining handler derives its
+// context from the request (so a client that disconnects cancels its mine
+// mid-restart) bounded by Config.RequestTimeout.
 type Server struct {
 	eng *maprat.Engine
 	mux *http.ServeMux
+	cfg Config
 }
 
-// New builds a server over an opened engine.
-func New(eng *maprat.Engine) *Server {
-	s := &Server{eng: eng, mux: http.NewServeMux()}
+// New builds a server over an opened engine with default lifecycle
+// settings.
+func New(eng *maprat.Engine) *Server { return NewWithConfig(eng, Config{}) }
+
+// NewWithConfig builds a server with explicit lifecycle settings.
+func NewWithConfig(eng *maprat.Engine, cfg Config) *Server {
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = DefaultRequestTimeout
+	}
+	if cfg.ShutdownGrace == 0 {
+		cfg.ShutdownGrace = DefaultShutdownGrace
+	}
+	s := &Server{eng: eng, mux: http.NewServeMux(), cfg: cfg}
 	s.mux.HandleFunc("/", s.handleIndex)
 	s.mux.HandleFunc("/explain", s.handleExplain)
 	s.mux.HandleFunc("/group", s.handleGroup)
@@ -41,6 +75,63 @@ func New(eng *maprat.Engine) *Server {
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// ListenAndServe serves on addr until ctx ends, then shuts down
+// gracefully: the listener closes immediately, in-flight requests get
+// Config.ShutdownGrace to finish. It returns nil on a clean shutdown.
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ctx, ln)
+}
+
+// Serve is ListenAndServe over an existing listener (which it takes
+// ownership of and closes).
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	// Request contexts deliberately do not descend from ctx: shutdown
+	// must drain in-flight mines, not cancel them. A mine that outlives
+	// ShutdownGrace is cut off when Shutdown gives up and the process
+	// exits; per-request deadlines already bound each mine anyway.
+	srv := &http.Server{Handler: s}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	grace, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownGrace)
+	defer cancel()
+	if err := srv.Shutdown(grace); err != nil {
+		return err
+	}
+	<-errc // always http.ErrServerClosed after a Shutdown
+	return nil
+}
+
+// requestContext derives the mining context for one request.
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.cfg.RequestTimeout < 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+}
+
+// statusForError maps a mining failure to an HTTP status: timeouts are the
+// gateway's fault, disconnects get the nginx-style 499, everything else is
+// a not-found (the query matched nothing).
+func statusForError(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return 499 // client closed request
+	default:
+		return http.StatusNotFound
+	}
+}
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintln(w, "ok")
@@ -114,6 +205,7 @@ func parseWindow(r *http.Request) (store.TimeWindow, error) {
 			return w, fmt.Errorf("bad from year %q", v)
 		}
 		w.From = time.Date(y, 1, 1, 0, 0, 0, 0, time.UTC).Unix()
+		w.HasFrom = true
 	}
 	if v := r.URL.Query().Get("to"); v != "" {
 		y, err := strconv.Atoi(v)
@@ -121,6 +213,7 @@ func parseWindow(r *http.Request) (store.TimeWindow, error) {
 			return w, fmt.Errorf("bad to year %q", v)
 		}
 		w.To = time.Date(y+1, 1, 1, 0, 0, 0, 0, time.UTC).Unix() - 1
+		w.HasTo = true
 	}
 	return w, nil
 }
@@ -131,9 +224,11 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	ex, err := s.eng.Explain(req)
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	ex, err := s.eng.ExplainContext(ctx, req)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusNotFound)
+		http.Error(w, err.Error(), statusForError(err))
 		return
 	}
 	v := s.eng.RenderExploration(ex)
@@ -182,12 +277,14 @@ func (s *Server) handleGroup(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad key: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	st, related, err := s.eng.ExploreGroup(req.Query, key, 0)
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	st, related, err := s.eng.ExploreGroupContext(ctx, req.Query, key, 0)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusNotFound)
+		http.Error(w, err.Error(), statusForError(err))
 		return
 	}
-	refinements, err := s.eng.RefineGroup(req.Query, key, 8)
+	refinements, err := s.eng.RefineGroupContext(ctx, req.Query, key, 8)
 	if err != nil {
 		refinements = nil // the group itself rendered; drill-down is best effort
 	}
@@ -247,9 +344,11 @@ func (s *Server) handleEvolution(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	points, err := s.eng.Evolution(req)
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	points, err := s.eng.EvolutionContext(ctx, req)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusNotFound)
+		http.Error(w, err.Error(), statusForError(err))
 		return
 	}
 	type row struct {
@@ -282,9 +381,11 @@ func (s *Server) handleAPIExplain(w http.ResponseWriter, r *http.Request) {
 		writeJSONError(w, http.StatusBadRequest, err)
 		return
 	}
-	ex, err := s.eng.Explain(req)
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	ex, err := s.eng.ExplainContext(ctx, req)
 	if err != nil {
-		writeJSONError(w, http.StatusNotFound, err)
+		writeJSONError(w, statusForError(err), err)
 		return
 	}
 	type apiGroup struct {

@@ -1,6 +1,8 @@
 package store
 
 import (
+	"fmt"
+	"runtime"
 	"strconv"
 	"testing"
 )
@@ -34,6 +36,27 @@ func BenchmarkOpenWithPrecompute(b *testing.B) {
 		if _, err := Open(ds, opts); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkOpenPrecomputeGOMAXPROCS shows the open-time sharding: the join,
+// per-item index and global-cube precompute all scale with GOMAXPROCS
+// (identical output at every setting — see TestOpenParallelMatchesSequential).
+func BenchmarkOpenPrecomputeGOMAXPROCS(b *testing.B) {
+	ds := smallDataset(b)
+	opts := DefaultOptions()
+	for _, procs := range []int{1, 2, 4, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
+			prev := runtime.GOMAXPROCS(procs)
+			defer runtime.GOMAXPROCS(prev)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Open(ds, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -1,0 +1,147 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestFlightDeduplicatesConcurrentCalls(t *testing.T) {
+	var f Flight
+	var executions atomic.Int64
+	release := make(chan struct{})
+	started := make(chan struct{})
+
+	const followers = 8
+	var wg sync.WaitGroup
+	results := make([]any, followers+1)
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		v, _, err := f.Do(context.Background(), "k", func() (any, error) {
+			executions.Add(1)
+			close(started)
+			<-release
+			return 42, nil
+		})
+		if err != nil {
+			t.Errorf("leader: %v", err)
+		}
+		results[0] = v
+	}()
+
+	<-started // the leader holds the key; everyone below must join it
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, shared, err := f.Do(context.Background(), "k", func() (any, error) {
+				executions.Add(1)
+				return -1, nil
+			})
+			if err != nil {
+				t.Errorf("follower %d: %v", i, err)
+			}
+			if !shared {
+				t.Errorf("follower %d did not share", i)
+			}
+			results[i+1] = v
+		}(i)
+	}
+	// Give followers a moment to park on the call before releasing.
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	<-leaderDone
+
+	if n := executions.Load(); n != 1 {
+		t.Fatalf("fn executed %d times, want 1", n)
+	}
+	for i, v := range results {
+		if v != 42 {
+			t.Fatalf("caller %d got %v, want 42", i, v)
+		}
+	}
+}
+
+func TestFlightPropagatesErrors(t *testing.T) {
+	var f Flight
+	boom := errors.New("boom")
+	_, _, err := f.Do(context.Background(), "k", func() (any, error) { return nil, boom })
+	if err != boom {
+		t.Fatalf("got %v, want %v", err, boom)
+	}
+	// The failed call must not wedge the key.
+	v, shared, err := f.Do(context.Background(), "k", func() (any, error) { return 7, nil })
+	if err != nil || shared || v != 7 {
+		t.Fatalf("retry after error: v=%v shared=%v err=%v", v, shared, err)
+	}
+}
+
+func TestFlightFollowerCancellation(t *testing.T) {
+	var f Flight
+	started := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	go f.Do(context.Background(), "k", func() (any, error) {
+		close(started)
+		<-release
+		return 1, nil
+	})
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	_, _, err := f.Do(ctx, "k", func() (any, error) { return 2, nil })
+	if err != context.Canceled {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+// TestFlightLeaderPanicDoesNotWedgeKey ensures a panicking leader
+// deregisters its call: followers are woken with an error and the key is
+// usable again.
+func TestFlightLeaderPanicDoesNotWedgeKey(t *testing.T) {
+	var f Flight
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("panic did not propagate to the leader")
+			}
+		}()
+		f.Do(context.Background(), "k", func() (any, error) { panic("boom") })
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	v, shared, err := f.Do(ctx, "k", func() (any, error) { return 9, nil })
+	if err != nil || shared || v != 9 {
+		t.Fatalf("key wedged after leader panic: v=%v shared=%v err=%v", v, shared, err)
+	}
+}
+
+func TestFlightLeaderCancellationNotShared(t *testing.T) {
+	// A leader cancelled by its own context must not poison followers:
+	// the follower retries and computes the value itself.
+	var f Flight
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	go f.Do(leaderCtx, "k", func() (any, error) {
+		close(started)
+		<-leaderCtx.Done()
+		return nil, leaderCtx.Err()
+	})
+	<-started
+	go cancelLeader()
+
+	v, _, err := f.Do(context.Background(), "k", func() (any, error) { return "mine", nil })
+	if err != nil || v != "mine" {
+		t.Fatalf("follower after leader cancel: v=%v err=%v", v, err)
+	}
+}

@@ -9,39 +9,74 @@ package store
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/cube"
 	"repro/internal/model"
 )
 
 // TimeWindow restricts ratings to [From, To] (Unix seconds, inclusive).
-// Zero bounds are unbounded, so the zero TimeWindow means "all time".
+// The zero TimeWindow means "all time". A non-zero bound is always active;
+// a bound that is exactly 0 (the Unix epoch) is treated as unbounded
+// unless the matching HasFrom/HasTo flag marks it explicit — historically
+// an epoch bound was silently ignored. Prefer the Between/Since/Until
+// constructors, which set the flags and so behave correctly for every
+// timestamp, the epoch included.
 type TimeWindow struct {
 	From, To int64
+	// HasFrom / HasTo mark the corresponding bound as explicitly set, so
+	// a bound at Unix time 0 is honoured rather than read as "unbounded".
+	HasFrom, HasTo bool
 }
+
+// Between returns the window [from, to], honouring bounds of 0.
+func Between(from, to int64) TimeWindow {
+	return TimeWindow{From: from, To: to, HasFrom: true, HasTo: true}
+}
+
+// Since returns the window [from, ∞).
+func Since(from int64) TimeWindow { return TimeWindow{From: from, HasFrom: true} }
+
+// Until returns the window (-∞, to].
+func Until(to int64) TimeWindow { return TimeWindow{To: to, HasTo: true} }
+
+// BoundedFrom reports whether the lower bound is active.
+func (w TimeWindow) BoundedFrom() bool { return w.HasFrom || w.From != 0 }
+
+// BoundedTo reports whether the upper bound is active.
+func (w TimeWindow) BoundedTo() bool { return w.HasTo || w.To != 0 }
 
 // Contains reports whether ts falls inside the window.
 func (w TimeWindow) Contains(ts int64) bool {
-	if w.From != 0 && ts < w.From {
+	if w.BoundedFrom() && ts < w.From {
 		return false
 	}
-	if w.To != 0 && ts > w.To {
+	if w.BoundedTo() && ts > w.To {
 		return false
 	}
 	return true
 }
 
 // IsAll reports whether the window is unbounded on both sides.
-func (w TimeWindow) IsAll() bool { return w.From == 0 && w.To == 0 }
+func (w TimeWindow) IsAll() bool { return !w.BoundedFrom() && !w.BoundedTo() }
 
-// String renders the window for cache keys and logs.
+// String renders the window for cache keys and logs; an inactive side
+// renders as *.
 func (w TimeWindow) String() string {
 	if w.IsAll() {
 		return "[all]"
 	}
-	return fmt.Sprintf("[%d,%d]", w.From, w.To)
+	from, to := "*", "*"
+	if w.BoundedFrom() {
+		from = fmt.Sprintf("%d", w.From)
+	}
+	if w.BoundedTo() {
+		to = fmt.Sprintf("%d", w.To)
+	}
+	return fmt.Sprintf("[%s,%s]", from, to)
 }
 
 // Options configures Open.
@@ -80,8 +115,18 @@ type Store struct {
 	cache      *LRU       // nil unless Options.CacheSize > 0
 }
 
+// openParallelMin is the rating count below which Open joins sequentially;
+// goroutine fan-out over a small log costs more than the join.
+const openParallelMin = 1 << 15
+
 // Open indexes a dataset. The dataset must already be valid (see
 // model.Dataset.Validate); Open trusts it and never mutates it.
+//
+// The expensive phases — the demographics join, the per-item time index,
+// and the global-cube precomputation — are sharded over rating partitions
+// across GOMAXPROCS goroutines. The result is identical to a sequential
+// open: shards are contiguous index ranges merged in order, and every sort
+// below carries a total-order tie-break.
 func Open(ds *model.Dataset, opts Options) (*Store, error) {
 	if ds == nil {
 		return nil, fmt.Errorf("store: nil dataset")
@@ -96,34 +141,144 @@ func Open(ds *model.Dataset, opts Options) (*Store, error) {
 		titleTerm:  make(map[string][]int),
 	}
 
-	s.tuples = make([]cube.Tuple, len(ds.Ratings))
-	for i, r := range ds.Ratings {
-		u := ds.UserByID(r.UserID)
-		if u == nil {
-			return nil, fmt.Errorf("store: rating %d references unknown user %d", i, r.UserID)
-		}
-		s.tuples[i] = cube.JoinRating(r, u)
-		if s.minUnix == 0 || r.Unix < s.minUnix {
-			s.minUnix = r.Unix
-		}
-		if r.Unix > s.maxUnix {
-			s.maxUnix = r.Unix
-		}
-		s.itemTuples[r.ItemID] = append(s.itemTuples[r.ItemID], int32(i))
+	// The item-attribute indexes only read ds.Items; build them while the
+	// rating join runs.
+	var itemWG sync.WaitGroup
+	itemWG.Add(1)
+	go func() {
+		defer itemWG.Done()
+		s.buildItemIndexes()
+	}()
+
+	if err := s.joinRatings(); err != nil {
+		itemWG.Wait()
+		return nil, err
 	}
-	for id := range s.itemTuples {
-		idxs := s.itemTuples[id]
-		sort.Slice(idxs, func(a, b int) bool {
-			ta, tb := s.tuples[idxs[a]].Unix, s.tuples[idxs[b]].Unix
-			if ta != tb {
-				return ta < tb
-			}
-			return idxs[a] < idxs[b]
-		})
+	itemWG.Wait()
+
+	if opts.Precompute {
+		s.globalCube = cube.Build(s.tuples, opts.CubeConfig)
+	}
+	if opts.CacheSize > 0 {
+		s.cache = NewLRU(opts.CacheSize)
+	}
+	return s, nil
+}
+
+// joinRatings materializes the demographics-joined tuple log and the
+// per-item time-sorted index, sharding the work over rating partitions.
+func (s *Store) joinRatings() error {
+	ds := s.ds
+	s.tuples = make([]cube.Tuple, len(ds.Ratings))
+
+	workers := runtime.GOMAXPROCS(0)
+	if len(ds.Ratings) < openParallelMin {
+		workers = 1
 	}
 
-	for i := range ds.Items {
-		it := &ds.Items[i]
+	type shard struct {
+		itemTuples       map[int][]int32
+		minUnix, maxUnix int64
+		seen             bool // shard processed at least one rating
+		err              error
+	}
+	shards := make([]shard, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * len(ds.Ratings) / workers
+		hi := (w + 1) * len(ds.Ratings) / workers
+		wg.Add(1)
+		go func(sh *shard, lo, hi int) {
+			defer wg.Done()
+			sh.itemTuples = make(map[int][]int32)
+			for i := lo; i < hi; i++ {
+				r := ds.Ratings[i]
+				u := ds.UserByID(r.UserID)
+				if u == nil {
+					// First error of the shard == lowest rating index,
+					// matching the sequential scan's report.
+					sh.err = fmt.Errorf("store: rating %d references unknown user %d", i, r.UserID)
+					return
+				}
+				s.tuples[i] = cube.JoinRating(r, u)
+				if !sh.seen || r.Unix < sh.minUnix {
+					sh.minUnix = r.Unix
+				}
+				if !sh.seen || r.Unix > sh.maxUnix {
+					sh.maxUnix = r.Unix
+				}
+				sh.seen = true
+				sh.itemTuples[r.ItemID] = append(sh.itemTuples[r.ItemID], int32(i))
+			}
+		}(&shards[w], lo, hi)
+	}
+	wg.Wait()
+
+	// Merge in shard order: index lists stay ascending, and the first
+	// failing shard carries the lowest-index error. The explicit seen
+	// flag (not a 0 sentinel) keeps ratings at the Unix epoch in the
+	// range, identical to the sequential scan.
+	merged := false
+	for w := range shards {
+		sh := &shards[w]
+		if sh.err != nil {
+			return sh.err
+		}
+		if !sh.seen {
+			continue
+		}
+		if !merged || sh.minUnix < s.minUnix {
+			s.minUnix = sh.minUnix
+		}
+		if !merged || sh.maxUnix > s.maxUnix {
+			s.maxUnix = sh.maxUnix
+		}
+		merged = true
+		for id, idxs := range sh.itemTuples {
+			s.itemTuples[id] = append(s.itemTuples[id], idxs...)
+		}
+	}
+
+	// Time-sort each item's index list; items are independent, so spread
+	// them over the same worker count.
+	ids := make([]int, 0, len(s.itemTuples))
+	for id := range s.itemTuples {
+		ids = append(ids, id)
+	}
+	sortShard := func(ids []int) {
+		for _, id := range ids {
+			idxs := s.itemTuples[id]
+			sort.Slice(idxs, func(a, b int) bool {
+				ta, tb := s.tuples[idxs[a]].Unix, s.tuples[idxs[b]].Unix
+				if ta != tb {
+					return ta < tb
+				}
+				return idxs[a] < idxs[b]
+			})
+		}
+	}
+	if workers == 1 {
+		sortShard(ids)
+	} else {
+		var sw sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo := w * len(ids) / workers
+			hi := (w + 1) * len(ids) / workers
+			sw.Add(1)
+			go func(part []int) {
+				defer sw.Done()
+				sortShard(part)
+			}(ids[lo:hi])
+		}
+		sw.Wait()
+	}
+	return nil
+}
+
+// buildItemIndexes fills the item-attribute inverted indexes.
+func (s *Store) buildItemIndexes() {
+	for i := range s.ds.Items {
+		it := &s.ds.Items[i]
 		s.byTitle[norm(it.Title)] = append(s.byTitle[norm(it.Title)], it.ID)
 		for _, term := range tokenize(it.Title) {
 			s.titleTerm[term] = appendUnique(s.titleTerm[term], it.ID)
@@ -138,14 +293,6 @@ func Open(ds *model.Dataset, opts Options) (*Store, error) {
 			s.byDirector[norm(d)] = append(s.byDirector[norm(d)], it.ID)
 		}
 	}
-
-	if opts.Precompute {
-		s.globalCube = cube.Build(s.tuples, opts.CubeConfig)
-	}
-	if opts.CacheSize > 0 {
-		s.cache = NewLRU(opts.CacheSize)
-	}
-	return s, nil
 }
 
 func norm(s string) string { return strings.ToLower(strings.TrimSpace(s)) }
@@ -271,11 +418,11 @@ func (s *Store) TuplesForItems(itemIDs []int, w TimeWindow) []cube.Tuple {
 // window's sub-range.
 func windowBounds(tuples []cube.Tuple, idxs []int32, w TimeWindow) (int, int) {
 	lo := 0
-	if w.From != 0 {
+	if w.BoundedFrom() {
 		lo = sort.Search(len(idxs), func(i int) bool { return tuples[idxs[i]].Unix >= w.From })
 	}
 	hi := len(idxs)
-	if w.To != 0 {
+	if w.BoundedTo() {
 		hi = sort.Search(len(idxs), func(i int) bool { return tuples[idxs[i]].Unix > w.To })
 	}
 	if hi < lo {

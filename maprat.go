@@ -20,9 +20,11 @@
 package maprat
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -96,10 +98,20 @@ func DefaultOptions() Options {
 	return Options{Store: store.DefaultOptions(), Cube: cube.DefaultConfig()}
 }
 
-// Engine is an opened MapRat instance over one dataset.
+// Engine is an opened MapRat instance over one dataset. An Engine is safe
+// for concurrent use: the store is read-only after Open, the result cache
+// and the singleflight layer are internally synchronized, and each mining
+// request builds its own cube and problem instances.
 type Engine struct {
 	st      *store.Store
 	cubeCfg cube.Config
+
+	// flight deduplicates concurrent identical Explain calls in front of
+	// the LRU: a burst of the same query mines once.
+	flight store.Flight
+	// mines counts full mining-pipeline executions (cache misses that also
+	// lost the singleflight race are not counted — they never mined).
+	mines atomic.Uint64
 }
 
 // Open indexes a dataset and returns the engine. A nil opts uses
@@ -207,6 +219,14 @@ var (
 // R_I, construct the candidate groups, and solve each requested mining
 // sub-problem with RHE.
 func (e *Engine) Explain(req ExplainRequest) (*Explanation, error) {
+	return e.ExplainContext(context.Background(), req)
+}
+
+// ExplainContext is Explain with a request lifecycle: mining stops between
+// hill-climb iterations once ctx is done (returning ctx.Err()), and
+// concurrent callers with the same request share one mining run through
+// the singleflight layer in front of the result cache.
+func (e *Engine) ExplainContext(ctx context.Context, req ExplainRequest) (*Explanation, error) {
 	start := time.Now()
 	if req.Settings.K == 0 {
 		req.Settings = DefaultSettings()
@@ -215,16 +235,39 @@ func (e *Engine) Explain(req ExplainRequest) (*Explanation, error) {
 		req.Tasks = []Task{SimilarityMining, DiversityMining}
 	}
 
-	cacheKey := e.cacheKey(req)
-	if !req.DisableCache && e.st.Cache() != nil {
-		if v, ok := e.st.Cache().Get(cacheKey); ok {
-			hit := *(v.(*Explanation))
-			hit.FromCache = true
-			hit.Elapsed = time.Since(start)
-			return &hit, nil
-		}
+	if req.DisableCache || e.st.Cache() == nil {
+		return e.explainUncached(ctx, req, start)
 	}
 
+	cacheKey := e.cacheKey(req)
+	if v, ok := e.st.Cache().Get(cacheKey); ok {
+		hit := *(v.(*Explanation))
+		hit.FromCache = true
+		hit.Elapsed = time.Since(start)
+		return &hit, nil
+	}
+	v, shared, err := e.flight.Do(ctx, cacheKey, func() (any, error) {
+		ex, err := e.explainUncached(ctx, req, start)
+		if err != nil {
+			return nil, err
+		}
+		e.st.Cache().Put(cacheKey, ex)
+		return ex, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	ex := *(v.(*Explanation))
+	// A follower's result came from another request's mining run — from
+	// the caller's perspective that is a cache hit.
+	ex.FromCache = shared
+	ex.Elapsed = time.Since(start)
+	return &ex, nil
+}
+
+// explainUncached executes the mining pipeline, bypassing cache and
+// singleflight.
+func (e *Engine) explainUncached(ctx context.Context, req ExplainRequest, start time.Time) (*Explanation, error) {
 	ids, err := query.Resolve(e.st, req.Query)
 	if err != nil {
 		return nil, err
@@ -243,19 +286,24 @@ func (e *Engine) Explain(req ExplainRequest) (*Explanation, error) {
 		ex.Overall.Add(t.Score)
 	}
 	for _, task := range req.Tasks {
-		tr, err := e.solveTask(task, c, req)
+		tr, err := e.solveTask(ctx, task, c, req)
 		if err != nil {
+			if errors.Is(err, ctx.Err()) {
+				return nil, err
+			}
 			return nil, fmt.Errorf("%v: %w", task, err)
 		}
 		ex.Results = append(ex.Results, tr)
 	}
 	ex.Elapsed = time.Since(start)
-
-	if !req.DisableCache && e.st.Cache() != nil {
-		e.st.Cache().Put(cacheKey, ex)
-	}
+	e.mines.Add(1)
 	return ex, nil
 }
+
+// MineCount returns how many full mining-pipeline executions the engine
+// has completed (failed resolves and cancelled mines are not counted) — a
+// monitoring hook for observing cache and singleflight effectiveness.
+func (e *Engine) MineCount() uint64 { return e.mines.Load() }
 
 // adaptCubeConfig scales MinSupport down for small tuple sets so sparse
 // queries still produce candidates; override takes precedence over the
@@ -276,7 +324,7 @@ func (e *Engine) adaptCubeConfig(override *cube.Config, numTuples int) cube.Conf
 
 // solveTask runs one sub-problem, relaxing the coverage constraint
 // stepwise when the instance is infeasible (unless disabled).
-func (e *Engine) solveTask(task Task, c *cube.Cube, req ExplainRequest) (TaskResult, error) {
+func (e *Engine) solveTask(ctx context.Context, task Task, c *cube.Cube, req ExplainRequest) (TaskResult, error) {
 	s := req.Settings
 	alphas := []float64{s.Coverage}
 	if !req.DisableRelax {
@@ -296,7 +344,10 @@ func (e *Engine) solveTask(task Task, c *cube.Cube, req ExplainRequest) (TaskRes
 			}
 			return TaskResult{}, err
 		}
-		sol := p.SolveRHE()
+		sol, err := p.SolveRHECtx(ctx)
+		if err != nil {
+			return TaskResult{}, err
+		}
 		if !sol.Feasible {
 			lastErr = core.ErrInfeasible
 			continue
@@ -341,16 +392,28 @@ func (e *Engine) cacheKey(req ExplainRequest) string {
 	if req.CubeConfig != nil {
 		cubeCfg = *req.CubeConfig
 	}
-	return fmt.Sprintf("explain|%s|k=%d|a=%.3f|l=%.2f|sb=%.2f|p=%v|seed=%d|tasks=%v|relax=%v|cube=%+v",
+	// Every result-affecting setting participates; Workers is left out on
+	// purpose — it is result-neutral by construction.
+	return fmt.Sprintf("explain|%s|k=%d|a=%.3f|l=%.2f|sb=%.2f|p=%v|seed=%d|r=%d|mi=%d|ss=%d|tasks=%v|relax=%v|cube=%+v",
 		req.Query.String(), req.Settings.K, req.Settings.Coverage,
 		req.Settings.Lambda, req.Settings.SiblingBoost, req.Settings.Profile,
-		req.Settings.Seed, req.Tasks, !req.DisableRelax, cubeCfg)
+		req.Settings.Seed, req.Settings.Restarts, req.Settings.MaxIters,
+		req.Settings.SampleSize, req.Tasks, !req.DisableRelax, cubeCfg)
 }
 
 // ExploreGroup recomputes the Figure-3 exploration for one explanation
 // group: full statistics (histogram, city drill-down, timeline) plus the
 // sibling groups to compare against.
 func (e *Engine) ExploreGroup(q Query, key Key, buckets int) (*GroupStats, []GroupResult, error) {
+	return e.ExploreGroupContext(context.Background(), q, key, buckets)
+}
+
+// ExploreGroupContext is ExploreGroup with cancellation between the
+// pipeline's stages.
+func (e *Engine) ExploreGroupContext(ctx context.Context, q Query, key Key, buckets int) (*GroupStats, []GroupResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	ids, err := query.Resolve(e.st, q)
 	if err != nil {
 		return nil, nil, err
@@ -367,6 +430,9 @@ func (e *Engine) ExploreGroup(q Query, key Key, buckets int) (*GroupStats, []Gro
 		// The group came from an un-anchored (framework-mode) mining run;
 		// rebuild the cube accordingly or the key cannot materialize.
 		cfg.RequireState = false
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
 	}
 	c := cube.Build(tuples, cfg)
 	g, ok := c.Group(key)
@@ -396,6 +462,15 @@ type Refinement struct {
 // group for the query, capped at limit (0 = all) — the paper's "drill
 // deeper" exploration beyond city statistics.
 func (e *Engine) RefineGroup(q Query, key Key, limit int) ([]Refinement, error) {
+	return e.RefineGroupContext(context.Background(), q, key, limit)
+}
+
+// RefineGroupContext is RefineGroup with cancellation between the
+// pipeline's stages.
+func (e *Engine) RefineGroupContext(ctx context.Context, q Query, key Key, limit int) ([]Refinement, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	ids, err := query.Resolve(e.st, q)
 	if err != nil {
 		return nil, err
@@ -410,6 +485,9 @@ func (e *Engine) RefineGroup(q Query, key Key, limit int) ([]Refinement, error) 
 	cfg := e.adaptCubeConfig(nil, len(tuples))
 	if !key.Has(cube.State) {
 		cfg.RequireState = false
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	c := cube.Build(tuples, cfg)
 	g, ok := c.Group(key)
@@ -436,8 +514,17 @@ func (e *Engine) RefineGroup(q Query, key Key, limit int) ([]Refinement, error) 
 // a state, the drill down provides city level" views). The returned
 // TaskResult's groups all carry a city condition.
 func (e *Engine) DrillMine(q Query, parent Key, task Task, s Settings) (*TaskResult, error) {
+	return e.DrillMineContext(context.Background(), q, parent, task, s)
+}
+
+// DrillMineContext is DrillMine with cancellation threaded through the
+// sub-problem's RHE run.
+func (e *Engine) DrillMineContext(ctx context.Context, q Query, parent Key, task Task, s Settings) (*TaskResult, error) {
 	if s.K == 0 {
 		s = DefaultSettings()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	ids, err := query.Resolve(e.st, q)
 	if err != nil {
@@ -477,7 +564,10 @@ func (e *Engine) DrillMine(q Query, parent Key, task Task, s Settings) (*TaskRes
 	if err != nil {
 		return nil, fmt.Errorf("maprat: drill mining: %w", err)
 	}
-	sol := p.SolveRHE()
+	sol, err := p.SolveRHECtx(ctx)
+	if err != nil {
+		return nil, err
+	}
 	tr := &TaskResult{
 		Task:            task,
 		Objective:       sol.Objective,
@@ -547,15 +637,19 @@ type EvolutionPoint struct {
 // §3.1 time slider ("observe reviewer groups ... and how they change over
 // time").
 func (e *Engine) Evolution(req ExplainRequest) ([]EvolutionPoint, error) {
+	return e.EvolutionContext(context.Background(), req)
+}
+
+// EvolutionContext is Evolution with cancellation: the sweep stops at the
+// first window whose mining run is cut short by ctx.
+func (e *Engine) EvolutionContext(ctx context.Context, req ExplainRequest) ([]EvolutionPoint, error) {
 	lo, hi := e.st.TimeRange()
 	w := req.Query.Window
-	if !w.IsAll() {
-		if w.From != 0 {
-			lo = w.From
-		}
-		if w.To != 0 {
-			hi = w.To
-		}
+	if w.BoundedFrom() {
+		lo = w.From
+	}
+	if w.BoundedTo() {
+		hi = w.To
 	}
 	windows := explore.YearWindows(lo, hi)
 	if len(windows) == 0 {
@@ -563,9 +657,12 @@ func (e *Engine) Evolution(req ExplainRequest) ([]EvolutionPoint, error) {
 	}
 	out := make([]EvolutionPoint, 0, len(windows))
 	for _, win := range windows {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
 		r := req
 		r.Query.Window = win
-		ex, err := e.Explain(r)
+		ex, err := e.ExplainContext(ctx, r)
 		out = append(out, EvolutionPoint{Window: win, Explanation: ex, Err: err})
 	}
 	return out, nil
