@@ -21,6 +21,7 @@ import (
 
 var (
 	benchOnce sync.Once
+	benchDS   *Dataset
 	benchEng  *Engine
 )
 
@@ -31,11 +32,12 @@ func benchEngine(b *testing.B) *Engine {
 		if os.Getenv("MAPRAT_BENCH_SCALE") == "full" {
 			cfg = DefaultGenConfig()
 		}
-		ds, err := Generate(cfg)
+		var err error
+		benchDS, err = Generate(cfg)
 		if err != nil {
 			panic(err)
 		}
-		benchEng, err = Open(ds, nil)
+		benchEng, err = Open(benchDS, nil)
 		if err != nil {
 			panic(err)
 		}
@@ -354,6 +356,52 @@ func BenchmarkE11_ConcurrentIdenticalQueries(b *testing.B) {
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
 			if _, err := e.Explain(req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkWarmExplore measures the materialization tier's payoff on the
+// repeated-interaction hot path — a group-page click after an Explain.
+// cold disables the tier, so every exploration re-runs the full resolve →
+// gather → cube-build pipeline; warm fetches the materialized plan and
+// only computes the Figure-3 statistics. The tier's promise is the warm
+// path running at least several times faster.
+func BenchmarkWarmExplore(b *testing.B) {
+	e := benchEngine(b)
+	q := benchQuery(b, e, `movie:"Toy Story"`)
+	ex, err := e.Explain(ExplainRequest{Query: q, Tasks: []Task{SimilarityMining}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	key := ex.Result(SimilarityMining).Groups[0].Key
+
+	b.Run("cold", func(b *testing.B) {
+		opts := DefaultOptions()
+		opts.Store.Precompute = false
+		opts.Store.PlanCacheTuples = 0
+		cold, err := Open(benchDS, &opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := cold.ExploreGroup(q, key, 8); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		// Materialize the plan outside the timed loop.
+		if _, _, err := e.ExploreGroup(q, key, 8); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := e.ExploreGroup(q, key, 8); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"unsafe"
 )
 
 // Group is one materialized cube cell over the input tuples: a candidate
@@ -261,6 +262,28 @@ func (c *Cube) Group(k Key) (*Group, bool) {
 
 // Len returns the number of candidate groups.
 func (c *Cube) Len() int { return len(c.Groups) }
+
+// Per-element sizes used by SizeBytes. City strings share their backing
+// with the dataset, so tuples are costed by header alone. TupleBytes is
+// exported for callers that account for bare tuple slices (the store's
+// plan cache).
+const (
+	TupleBytes = int64(unsafe.Sizeof(Tuple{}))
+	groupBytes = int64(unsafe.Sizeof(Group{}))
+	keyBytes   = int64(unsafe.Sizeof(Key{}))
+)
+
+// SizeBytes approximates the cube's resident memory — the tuple slice,
+// the group headers with their member lists, and the key index — in
+// O(|Groups|) time, cheap enough for cache accounting on every insert.
+func (c *Cube) SizeBytes() int64 {
+	b := int64(len(c.Tuples)) * TupleBytes
+	for i := range c.Groups {
+		b += groupBytes + int64(len(c.Groups[i].Members))*4
+	}
+	b += int64(len(c.byKey)) * (keyBytes + 8)
+	return b
+}
 
 // Siblings returns, for each group index, the indices of its sibling groups
 // (same constrained attributes, exactly one differing value). Diversity

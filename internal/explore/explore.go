@@ -79,10 +79,13 @@ func Stats(tuples []cube.Tuple, g *cube.Group, buckets int) GroupStats {
 			}
 			a.Add(t.Score)
 		}
+		// Both bounds seed from the first member: a zero-initialized
+		// maxUnix would stretch an all-pre-1970 group's timeline to the
+		// epoch (mirroring the TimeWindow epoch-bound fix).
 		if i == 0 || t.Unix < minUnix {
 			minUnix = t.Unix
 		}
-		if t.Unix > maxUnix {
+		if i == 0 || t.Unix > maxUnix {
 			maxUnix = t.Unix
 		}
 	}

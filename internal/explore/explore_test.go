@@ -127,6 +127,50 @@ func TestStatsTimeline(t *testing.T) {
 	}
 }
 
+// TestStatsPreEpochTimeline is the regression test for the maxUnix
+// seeding bug: a group whose ratings all predate 1970 (negative Unix)
+// must get a timeline spanning exactly its own ratings, not one stretched
+// forward to the epoch by a zero-initialized upper bound.
+func TestStatsPreEpochTimeline(t *testing.T) {
+	ca := cube.StateIndex("CA")
+	day := int64(24 * 3600)
+	mk := func(score int8, at int64) cube.Tuple {
+		var t cube.Tuple
+		t.Vals[cube.State] = ca
+		t.Score = score
+		t.Unix = at
+		t.City = "Los Angeles"
+		return t
+	}
+	tuples := []cube.Tuple{
+		mk(5, -300*day),
+		mk(4, -200*day),
+		mk(3, -100*day),
+	}
+	c := cube.Build(tuples, cube.Config{RequireState: true, MinSupport: 1, MaxAVPairs: 1})
+	st := Stats(tuples, caGroup(t, c), 4)
+
+	if len(st.Timeline) == 0 {
+		t.Fatal("no timeline")
+	}
+	first, last := st.Timeline[0], st.Timeline[len(st.Timeline)-1]
+	if got := first.Start.Unix(); got != -300*day {
+		t.Errorf("timeline starts at %d, want the earliest rating %d", got, -300*day)
+	}
+	// The span must end just past the latest rating; before the fix the
+	// zero-seeded maxUnix stretched it to the epoch.
+	if got := last.End.Unix(); got != -100*day+1 {
+		t.Errorf("timeline ends at %d, want %d (not the epoch)", got, -100*day+1)
+	}
+	total := 0
+	for _, b := range st.Timeline {
+		total += b.Agg.Count
+	}
+	if total != 3 {
+		t.Errorf("timeline total = %d, want 3", total)
+	}
+}
+
 func TestStatsDefaultBuckets(t *testing.T) {
 	c, tuples := buildFixture(t)
 	st := Stats(tuples, caGroup(t, c), 0)

@@ -70,6 +70,7 @@ func NewWithConfig(eng *maprat.Engine, cfg Config) *Server {
 	s.mux.HandleFunc("/browse", s.handleBrowse)
 	s.mux.HandleFunc("/api/explain", s.handleAPIExplain)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/statsz", s.handleStats)
 	return s
 }
 
@@ -119,22 +120,55 @@ func (s *Server) requestContext(r *http.Request) (context.Context, context.Cance
 	return context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 }
 
-// statusForError maps a mining failure to an HTTP status: timeouts are the
-// gateway's fault, disconnects get the nginx-style 499, everything else is
-// a not-found (the query matched nothing).
+// statusForError maps a mining failure to an HTTP status: timeouts are
+// the gateway's fault (504), disconnects get the nginx-style 499, and
+// only the errors meaning "the client asked for something that doesn't
+// exist" — no items, no ratings in the window, no such group — are 404s.
+// Everything else is an internal mining failure and must surface as a
+// 500, not be blamed on the client.
 func statusForError(err error) int {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
 		return 499 // client closed request
-	default:
+	case errors.Is(err, maprat.ErrNoItems),
+		errors.Is(err, maprat.ErrNoRatings),
+		errors.Is(err, maprat.ErrNoGroup):
 		return http.StatusNotFound
+	default:
+		return http.StatusInternalServerError
 	}
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintln(w, "ok")
+}
+
+// handleStats exposes the engine's caching tiers as JSON for monitoring:
+// the plan materialization tier (hit/miss/builds/tuple budget/bytes), the
+// result LRU, the explain singleflight, and the mining-run counter.
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	resp := struct {
+		PlanCache store.PlanStats `json:"plan_cache"`
+		Result    struct {
+			Hits    uint64 `json:"hits"`
+			Misses  uint64 `json:"misses"`
+			Entries int    `json:"entries"`
+		} `json:"result_cache"`
+		Mines uint64 `json:"mines"`
+	}{
+		PlanCache: s.eng.PlanStats(),
+		Mines:     s.eng.MineCount(),
+	}
+	if c := s.eng.Store().Cache(); c != nil {
+		resp.Result.Hits, resp.Result.Misses = c.Stats()
+		resp.Result.Entries = c.Len()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
 }
 
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {

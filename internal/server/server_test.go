@@ -1,7 +1,10 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -276,6 +279,108 @@ func TestBrowsePage(t *testing.T) {
 	// One table row per state plus header.
 	if n := strings.Count(body, "<tr>"); n < 40 {
 		t.Errorf("browse page has only %d rows", n)
+	}
+}
+
+// TestStatusForError pins the HTTP status contract: only "the thing you
+// asked for doesn't exist" errors are 404s; internal mining failures are
+// 500s, never blamed on the client.
+func TestStatusForError(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"deadline", context.DeadlineExceeded, http.StatusGatewayTimeout},
+		{"wrapped deadline", fmt.Errorf("mining: %w", context.DeadlineExceeded), http.StatusGatewayTimeout},
+		{"canceled", context.Canceled, 499},
+		{"no items", maprat.ErrNoItems, http.StatusNotFound},
+		{"no ratings", maprat.ErrNoRatings, http.StatusNotFound},
+		{"no group", fmt.Errorf("%w: state=ZZ", maprat.ErrNoGroup), http.StatusNotFound},
+		{"internal mining failure", errors.New("core: solver exploded"), http.StatusInternalServerError},
+		{"wrapped internal failure", fmt.Errorf("SM: %w", errors.New("boom")), http.StatusInternalServerError},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := statusForError(c.err); got != c.want {
+				t.Errorf("statusForError(%v) = %d, want %d", c.err, got, c.want)
+			}
+		})
+	}
+}
+
+// TestHandlerStatusContract drives the contract through real handlers:
+// not-found-style requests answer 404 and nothing in the suite turns an
+// internal error into one.
+func TestHandlerStatusContract(t *testing.T) {
+	ts := testServer(t)
+	cases := []struct {
+		name string
+		path string
+		want int
+	}{
+		{"unknown movie", explainPath(`movie:"Zyzzyva The Unfilmed"`, ""), http.StatusNotFound},
+		{"window without ratings", explainPath(`movie:"Toy Story"`, "from=1901&to=1902"), http.StatusNotFound},
+		{"absent group", "/group?q=" + url.QueryEscape(`movie:"Toy Story"`) +
+			"&key=" + url.QueryEscape("state=WY,occupation=farmer"), http.StatusNotFound},
+		{"api unknown movie", "/api/explain?q=" + url.QueryEscape(`movie:"Zyzzyva The Unfilmed"`), http.StatusNotFound},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if code, body := get(t, ts, c.path); code != c.want {
+				t.Errorf("GET %s = %d, want %d\n%s", c.path, code, c.want, body)
+			}
+		})
+	}
+}
+
+// TestStatsEndpoint checks /statsz exposes the materialization tier and
+// result cache counters, and that a repeated interaction moves them.
+func TestStatsEndpoint(t *testing.T) {
+	ts := testServer(t)
+	// One explain plus a group view on the same query: the plan tier must
+	// record at least one build and one hit.
+	if code, _ := get(t, ts, explainPath(`movie:"Heat"`, "")); code != http.StatusOK {
+		t.Fatalf("explain status %d", code)
+	}
+	code, body := get(t, ts, "/api/explain?q="+url.QueryEscape(`movie:"Heat"`))
+	if code != http.StatusOK {
+		t.Fatalf("api explain status %d", code)
+	}
+
+	code, body = get(t, ts, "/statsz")
+	if code != http.StatusOK {
+		t.Fatalf("statsz status %d", code)
+	}
+	var resp struct {
+		PlanCache struct {
+			Hits      uint64 `json:"hits"`
+			Builds    uint64 `json:"builds"`
+			Tuples    int    `json:"tuples"`
+			MaxTuples int    `json:"max_tuples"`
+			Bytes     int64  `json:"bytes"`
+		} `json:"plan_cache"`
+		Result struct {
+			Hits   uint64 `json:"hits"`
+			Misses uint64 `json:"misses"`
+		} `json:"result_cache"`
+		Mines uint64 `json:"mines"`
+	}
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatalf("statsz json: %v\n%s", err, body)
+	}
+	if resp.PlanCache.Builds == 0 || resp.PlanCache.Tuples == 0 || resp.PlanCache.MaxTuples == 0 {
+		t.Errorf("plan tier not reporting: %+v", resp.PlanCache)
+	}
+	if resp.PlanCache.Bytes == 0 {
+		t.Errorf("plan bytes accounting empty: %+v", resp.PlanCache)
+	}
+	if resp.Mines == 0 {
+		t.Errorf("mine counter empty: %+v", resp)
+	}
+	// The second explain of the same query hits the result cache.
+	if resp.Result.Hits == 0 {
+		t.Errorf("result cache saw no hits: %+v", resp.Result)
 	}
 }
 

@@ -1,0 +1,230 @@
+package store
+
+import (
+	"container/list"
+	"context"
+	"sync"
+
+	"repro/internal/cube"
+)
+
+// Plan is one materialized query plan: everything the mining pipelines
+// derive from a query before solving — the resolved item IDs, the gathered
+// R_I tuple slice, the candidate cube built over it, and the overall
+// aggregate the paper argues is insufficient on its own. Materializing the
+// plan once makes every follow-up interaction on the same query (group
+// click, drill-deeper, city mine, evolution window) skip the resolve →
+// gather → cube-build pipeline entirely.
+//
+// Plans are shared across concurrent requests and MUST be treated as
+// immutable by every consumer: the solver keeps its scratch per Problem,
+// and the exploration layer only reads tuples and member lists.
+type Plan struct {
+	ItemIDs []int
+	Tuples  []cube.Tuple
+	Cube    *cube.Cube
+	Overall cube.Agg
+}
+
+// Cost is the plan's tuple count — the unit the cache budget is
+// denominated in. Tuples dominate a plan's memory (the cube's member
+// lists are proportional to them), so budgeting by tuples bounds memory
+// without per-entry byte bookkeeping on the hot path.
+func (p *Plan) Cost() int { return len(p.Tuples) }
+
+// SizeBytes approximates the plan's resident memory. The cube's tuple
+// slice is the plan's tuple slice, so it is counted once, via the cube.
+func (p *Plan) SizeBytes() int64 {
+	b := int64(len(p.ItemIDs)) * 8
+	if p.Cube != nil {
+		return b + p.Cube.SizeBytes()
+	}
+	return b + int64(len(p.Tuples))*cube.TupleBytes
+}
+
+// PlanStats is a monitoring snapshot of the materialization tier.
+type PlanStats struct {
+	// Hits counts fetches served without running their own build — from
+	// the cache or by joining another caller's in-flight build (the
+	// latter also counted in Shared). Misses counts fetches whose own
+	// build ran or failed, so Hits+Misses equals the number of fetches.
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	Shared uint64 `json:"shared"`
+	// Builds counts successful builder executions — the number of times
+	// the full resolve → gather → cube pipeline actually ran and yielded
+	// a plan (Misses minus failed builds).
+	Builds    uint64 `json:"builds"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+	// Tuples is the current budget usage against MaxTuples.
+	Tuples    int   `json:"tuples"`
+	MaxTuples int   `json:"max_tuples"`
+	Bytes     int64 `json:"bytes"`
+}
+
+// PlanCache is the materialization tier of §2.3's "aggressive data
+// pre-processing, result pre-computation and caching": a memory-bounded,
+// singleflight-fronted LRU of materialized query plans, keyed by the
+// caller's canonical (query, window, cube config) fingerprint and sized
+// by total tuple count rather than entry count — one whole-log query must
+// not cost the same budget as a one-movie query.
+type PlanCache struct {
+	mu        sync.Mutex
+	maxTuples int
+	ll        *list.List // front = most recently used
+	items     map[string]*list.Element
+	tuples    int
+	bytes     int64
+
+	hits, misses, shared, builds, evictions uint64
+
+	// flight collapses concurrent builds of the same plan: a burst of
+	// interactions on one query resolves and builds its cube once.
+	flight Flight
+}
+
+type planEntry struct {
+	key  string
+	plan *Plan
+}
+
+// NewPlanCache builds a cache bounded to maxTuples total tuples across
+// cached plans (maxTuples must be positive).
+func NewPlanCache(maxTuples int) *PlanCache {
+	if maxTuples <= 0 {
+		maxTuples = 1
+	}
+	return &PlanCache{
+		maxTuples: maxTuples,
+		ll:        list.New(),
+		items:     make(map[string]*list.Element),
+	}
+}
+
+// GetOrBuild returns the materialized plan for key, building it with
+// build on a miss. Concurrent callers with the same key share a single
+// build through the singleflight layer; hit reports whether the plan came
+// from the cache (or another caller's build) rather than this caller's
+// own build. Build errors are returned and never cached.
+func (pc *PlanCache) GetOrBuild(ctx context.Context, key string, build func() (*Plan, error)) (plan *Plan, hit bool, err error) {
+	// Each logical fetch counts exactly once: as a hit when served from
+	// the cache, a leader's re-check, or another caller's in-flight build
+	// (the latter also counted in Shared), and as a miss only when this
+	// caller's own build ran (or failed).
+	if p, ok := pc.lookup(key); ok {
+		return p, true, nil
+	}
+	v, sharedFlight, err := pc.flight.Do(ctx, key, func() (any, error) {
+		// Re-check under flight leadership: a previous leader may have
+		// finished between this caller's lookup and its leadership.
+		if p, ok := pc.lookup(key); ok {
+			return p, nil
+		}
+		p, err := build()
+		pc.mu.Lock()
+		pc.misses++
+		if err == nil {
+			pc.builds++
+		}
+		pc.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		pc.put(key, p)
+		return p, nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	if sharedFlight {
+		pc.mu.Lock()
+		pc.shared++
+		pc.hits++
+		pc.mu.Unlock()
+	}
+	return v.(*Plan), sharedFlight, nil
+}
+
+// lookup returns the cached plan for key, counting and marking a hit
+// most recently used. Misses are not counted here — GetOrBuild charges
+// them to the caller whose build actually ran.
+func (pc *PlanCache) lookup(key string) (*Plan, bool) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if el, ok := pc.items[key]; ok {
+		pc.ll.MoveToFront(el)
+		pc.hits++
+		return el.Value.(*planEntry).plan, true
+	}
+	return nil, false
+}
+
+// put stores a plan, evicting least-recently-used plans until the tuple
+// budget holds. A plan that alone exceeds the budget is served uncached
+// rather than wiping the whole tier for one query.
+func (pc *PlanCache) put(key string, p *Plan) {
+	cost := p.Cost()
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if cost > pc.maxTuples {
+		return
+	}
+	if el, ok := pc.items[key]; ok {
+		e := el.Value.(*planEntry)
+		pc.tuples -= e.plan.Cost()
+		pc.bytes -= e.plan.SizeBytes()
+		e.plan = p
+		pc.ll.MoveToFront(el)
+	} else {
+		pc.items[key] = pc.ll.PushFront(&planEntry{key: key, plan: p})
+	}
+	pc.tuples += cost
+	pc.bytes += p.SizeBytes()
+	for pc.tuples > pc.maxTuples {
+		oldest := pc.ll.Back()
+		if oldest == nil {
+			break
+		}
+		e := oldest.Value.(*planEntry)
+		pc.ll.Remove(oldest)
+		delete(pc.items, e.key)
+		pc.tuples -= e.plan.Cost()
+		pc.bytes -= e.plan.SizeBytes()
+		pc.evictions++
+	}
+}
+
+// Len returns the number of cached plans.
+func (pc *PlanCache) Len() int {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.ll.Len()
+}
+
+// Stats returns a snapshot of the tier's counters and current usage.
+func (pc *PlanCache) Stats() PlanStats {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return PlanStats{
+		Hits:      pc.hits,
+		Misses:    pc.misses,
+		Shared:    pc.shared,
+		Builds:    pc.builds,
+		Evictions: pc.evictions,
+		Entries:   pc.ll.Len(),
+		Tuples:    pc.tuples,
+		MaxTuples: pc.maxTuples,
+		Bytes:     pc.bytes,
+	}
+}
+
+// Reset clears the cache and its counters.
+func (pc *PlanCache) Reset() {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	pc.ll.Init()
+	pc.items = make(map[string]*list.Element)
+	pc.tuples, pc.bytes = 0, 0
+	pc.hits, pc.misses, pc.shared, pc.builds, pc.evictions = 0, 0, 0, 0, 0
+}

@@ -89,11 +89,23 @@ type Options struct {
 	CubeConfig cube.Config
 	// CacheSize bounds the LRU result cache; 0 disables caching.
 	CacheSize int
+	// PlanCacheTuples bounds the materialized query-plan cache — the tier
+	// that shares resolved item IDs, the gathered R_I tuples and the built
+	// candidate cube across Explain/Explore/Refine/DrillMine — by the
+	// total tuple count held across cached plans. 0 disables the tier.
+	PlanCacheTuples int
 }
 
-// DefaultOptions enables precomputation and a small result cache.
+// DefaultOptions enables precomputation, a small result cache, and a
+// plan-materialization budget of 2M tuples (roughly two whole-log plans
+// at MovieLens-1M scale).
 func DefaultOptions() Options {
-	return Options{Precompute: true, CubeConfig: cube.DefaultConfig(), CacheSize: 256}
+	return Options{
+		Precompute:      true,
+		CubeConfig:      cube.DefaultConfig(),
+		CacheSize:       256,
+		PlanCacheTuples: 2 << 20,
+	}
 }
 
 // Store is the opened, indexed dataset.
@@ -113,6 +125,7 @@ type Store struct {
 
 	globalCube *cube.Cube // nil unless Options.Precompute
 	cache      *LRU       // nil unless Options.CacheSize > 0
+	plans      *PlanCache // nil unless Options.PlanCacheTuples > 0
 }
 
 // openParallelMin is the rating count below which Open joins sequentially;
@@ -161,6 +174,9 @@ func Open(ds *model.Dataset, opts Options) (*Store, error) {
 	}
 	if opts.CacheSize > 0 {
 		s.cache = NewLRU(opts.CacheSize)
+	}
+	if opts.PlanCacheTuples > 0 {
+		s.plans = NewPlanCache(opts.PlanCacheTuples)
 	}
 	return s, nil
 }
@@ -327,6 +343,10 @@ func (s *Store) GlobalCube() *cube.Cube { return s.globalCube }
 
 // Cache returns the store's result cache (nil when disabled).
 func (s *Store) Cache() *LRU { return s.cache }
+
+// Plans returns the store's materialized query-plan cache (nil when
+// disabled).
+func (s *Store) Plans() *PlanCache { return s.plans }
 
 // ItemsByGenre returns the IDs of items tagged with the genre
 // (case-insensitive), in catalog order.

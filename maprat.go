@@ -156,7 +156,9 @@ type ExplainRequest struct {
 	// un-anchored framework mode — pass a config with RequireState=false
 	// to reproduce it.
 	CubeConfig *cube.Config
-	// DisableCache bypasses the store's result cache.
+	// DisableCache bypasses the store's result cache AND the plan
+	// materialization tier: the full resolve → gather → cube → mine
+	// pipeline runs from scratch (the cold path benchmarks measure).
 	DisableCache bool
 	// DisableRelax fails immediately on an unsatisfiable coverage
 	// constraint instead of relaxing α stepwise (the web demo relaxes so
@@ -209,11 +211,37 @@ func (ex *Explanation) Result(t Task) *TaskResult {
 	return nil
 }
 
-// Errors reported by Explain.
+// Clone returns a deep copy: the copy's ItemIDs, Results and per-task
+// Groups slices are freshly allocated, so mutating them never touches the
+// original. Every cache hit and singleflight share hands out a clone —
+// a shallow copy would alias the cached slices and let one caller poison
+// the cache for everyone.
+func (ex *Explanation) Clone() *Explanation {
+	out := *ex
+	out.Query.Preds = append([]query.Pred(nil), ex.Query.Preds...)
+	out.ItemIDs = append([]int(nil), ex.ItemIDs...)
+	out.Results = make([]TaskResult, len(ex.Results))
+	for i, tr := range ex.Results {
+		tr.Groups = append([]GroupResult(nil), tr.Groups...)
+		out.Results[i] = tr
+	}
+	return &out
+}
+
+// Errors reported by the mining pipelines. All three mark requests that
+// asked for something that does not exist — the HTTP layer maps them to
+// 404, unlike internal mining failures.
 var (
 	ErrNoItems   = errors.New("maprat: query matched no items")
 	ErrNoRatings = errors.New("maprat: query matched items but no ratings in the window")
+	// ErrNoGroup reports a group key that does not materialize in the
+	// query's candidate cube (a stale or mistyped key).
+	ErrNoGroup = errors.New("maprat: group not present for query")
 )
+
+func groupNotFound(key Key, q Query) error {
+	return fmt.Errorf("%w: %v (query %s)", ErrNoGroup, key, q)
+}
 
 // Explain runs the full §2.3 pipeline: resolve the query to items, gather
 // R_I, construct the candidate groups, and solve each requested mining
@@ -241,10 +269,10 @@ func (e *Engine) ExplainContext(ctx context.Context, req ExplainRequest) (*Expla
 
 	cacheKey := e.cacheKey(req)
 	if v, ok := e.st.Cache().Get(cacheKey); ok {
-		hit := *(v.(*Explanation))
+		hit := v.(*Explanation).Clone()
 		hit.FromCache = true
 		hit.Elapsed = time.Since(start)
-		return &hit, nil
+		return hit, nil
 	}
 	v, shared, err := e.flight.Do(ctx, cacheKey, func() (any, error) {
 		ex, err := e.explainUncached(ctx, req, start)
@@ -257,36 +285,43 @@ func (e *Engine) ExplainContext(ctx context.Context, req ExplainRequest) (*Expla
 	if err != nil {
 		return nil, err
 	}
-	ex := *(v.(*Explanation))
+	// The leader's value is the cached Explanation itself and a follower's
+	// aliases it; clone either way so no caller can mutate the cache.
+	ex := v.(*Explanation).Clone()
 	// A follower's result came from another request's mining run — from
 	// the caller's perspective that is a cache hit.
 	ex.FromCache = shared
 	ex.Elapsed = time.Since(start)
-	return &ex, nil
+	return ex, nil
 }
 
-// explainUncached executes the mining pipeline, bypassing cache and
-// singleflight.
+// explainUncached executes the mining pipeline, bypassing the result
+// cache and its singleflight. The pre-mining stages still come from the
+// plan materialization tier unless the request disables caching.
 func (e *Engine) explainUncached(ctx context.Context, req ExplainRequest, start time.Time) (*Explanation, error) {
-	ids, err := query.Resolve(e.st, req.Query)
+	base := e.baseCubeConfig(req.CubeConfig)
+	var p *store.Plan
+	var err error
+	if req.DisableCache {
+		p, err = e.buildPlan(req.Query, base)
+	} else {
+		p, err = e.planFor(ctx, req.Query, base)
+	}
 	if err != nil {
 		return nil, err
 	}
-	if len(ids) == 0 {
-		return nil, ErrNoItems
-	}
-	tuples := e.st.TuplesForItems(ids, req.Query.Window)
-	if len(tuples) == 0 {
-		return nil, ErrNoRatings
-	}
 
-	c := cube.Build(tuples, e.adaptCubeConfig(req.CubeConfig, len(tuples)))
-	ex := &Explanation{Query: req.Query, ItemIDs: ids, NumRatings: len(tuples)}
-	for _, t := range tuples {
-		ex.Overall.Add(t.Score)
+	ex := &Explanation{
+		Query: req.Query,
+		// Copy out of the shared plan; ex is cached and cloned on the way
+		// out, but the construction-time copy keeps the uncached path safe
+		// to mutate too.
+		ItemIDs:    append([]int(nil), p.ItemIDs...),
+		NumRatings: len(p.Tuples),
+		Overall:    p.Overall,
 	}
 	for _, task := range req.Tasks {
-		tr, err := e.solveTask(ctx, task, c, req)
+		tr, err := e.solveTask(ctx, task, p.Cube, req)
 		if err != nil {
 			if errors.Is(err, ctx.Err()) {
 				return nil, err
@@ -300,19 +335,96 @@ func (e *Engine) explainUncached(ctx context.Context, req ExplainRequest, start 
 	return ex, nil
 }
 
+// baseCubeConfig resolves the pre-adaptation cube config for a request:
+// the per-request override when present, the engine default otherwise.
+func (e *Engine) baseCubeConfig(override *cube.Config) cube.Config {
+	if override != nil {
+		return *override
+	}
+	return e.cubeCfg
+}
+
+// groupCubeConfig picks the base cube config a group key needs: a key
+// without a state condition came from a framework-mode (un-anchored)
+// mining run, so the cube must be rebuilt accordingly or the key cannot
+// materialize.
+func (e *Engine) groupCubeConfig(key Key) cube.Config {
+	cfg := e.cubeCfg
+	if !key.Has(cube.State) {
+		cfg.RequireState = false
+	}
+	return cfg
+}
+
+// planKey canonicalizes the (query, window, cube config) triple the
+// materialization tier is keyed by; the window rides inside
+// Query.String(). The config is the pre-adaptation base: MinSupport
+// adaptation is a pure function of the gathered tuple count, which is
+// itself determined by the key, so keying on the base config is sound.
+func planKey(q Query, cfg cube.Config) string {
+	return fmt.Sprintf("plan|%s|cube=%+v", q.String(), cfg)
+}
+
+// buildPlan runs the §2.3 pre-mining pipeline from scratch: resolve the
+// query to items, gather R_I, build the candidate cube over it.
+func (e *Engine) buildPlan(q Query, base cube.Config) (*store.Plan, error) {
+	ids, err := query.Resolve(e.st, q)
+	if err != nil {
+		return nil, err
+	}
+	if len(ids) == 0 {
+		return nil, ErrNoItems
+	}
+	tuples := e.st.TuplesForItems(ids, q.Window)
+	if len(tuples) == 0 {
+		return nil, ErrNoRatings
+	}
+	p := &store.Plan{
+		ItemIDs: ids,
+		Tuples:  tuples,
+		Cube:    cube.Build(tuples, adaptCubeConfig(base, len(tuples))),
+	}
+	for i := range tuples {
+		p.Overall.Add(tuples[i].Score)
+	}
+	return p, nil
+}
+
+// planFor fetches the materialized plan for (q, base) from the store's
+// materialization tier, building and caching it on first use. All five
+// pipelines — Explain, ExploreGroup, RefineGroup, DrillMine and each
+// Evolution window — fetch through here, so a group click after an
+// Explain performs zero query resolution and zero cube builds. With the
+// tier disabled the plan is built fresh.
+func (e *Engine) planFor(ctx context.Context, q Query, base cube.Config) (*store.Plan, error) {
+	pc := e.st.Plans()
+	if pc == nil {
+		return e.buildPlan(q, base)
+	}
+	p, _, err := pc.GetOrBuild(ctx, planKey(q, base), func() (*store.Plan, error) {
+		return e.buildPlan(q, base)
+	})
+	return p, err
+}
+
+// PlanStats returns a snapshot of the materialization tier's counters
+// (zero-valued when the tier is disabled) — the monitoring hook behind
+// the server's /statsz endpoint.
+func (e *Engine) PlanStats() store.PlanStats {
+	if pc := e.st.Plans(); pc != nil {
+		return pc.Stats()
+	}
+	return store.PlanStats{}
+}
+
 // MineCount returns how many full mining-pipeline executions the engine
 // has completed (failed resolves and cancelled mines are not counted) — a
 // monitoring hook for observing cache and singleflight effectiveness.
 func (e *Engine) MineCount() uint64 { return e.mines.Load() }
 
 // adaptCubeConfig scales MinSupport down for small tuple sets so sparse
-// queries still produce candidates; override takes precedence over the
-// engine default.
-func (e *Engine) adaptCubeConfig(override *cube.Config, numTuples int) cube.Config {
-	cfg := e.cubeCfg
-	if override != nil {
-		cfg = *override
-	}
+// queries still produce candidates.
+func adaptCubeConfig(cfg cube.Config, numTuples int) cube.Config {
 	if adaptive := numTuples / 50; adaptive < cfg.MinSupport {
 		cfg.MinSupport = adaptive
 		if cfg.MinSupport < 3 {
@@ -409,40 +521,25 @@ func (e *Engine) ExploreGroup(q Query, key Key, buckets int) (*GroupStats, []Gro
 }
 
 // ExploreGroupContext is ExploreGroup with cancellation between the
-// pipeline's stages.
+// pipeline's stages. The resolve → gather → cube stages come from the
+// materialization tier, so exploring a group right after its Explain does
+// no pipeline work at all.
 func (e *Engine) ExploreGroupContext(ctx context.Context, q Query, key Key, buckets int) (*GroupStats, []GroupResult, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
-	ids, err := query.Resolve(e.st, q)
+	p, err := e.planFor(ctx, q, e.groupCubeConfig(key))
 	if err != nil {
 		return nil, nil, err
 	}
-	if len(ids) == 0 {
-		return nil, nil, ErrNoItems
-	}
-	tuples := e.st.TuplesForItems(ids, q.Window)
-	if len(tuples) == 0 {
-		return nil, nil, ErrNoRatings
-	}
-	cfg := e.adaptCubeConfig(nil, len(tuples))
-	if !key.Has(cube.State) {
-		// The group came from an un-anchored (framework-mode) mining run;
-		// rebuild the cube accordingly or the key cannot materialize.
-		cfg.RequireState = false
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, nil, err
-	}
-	c := cube.Build(tuples, cfg)
-	g, ok := c.Group(key)
+	g, ok := p.Cube.Group(key)
 	if !ok {
-		return nil, nil, fmt.Errorf("maprat: group %v not present for query %s", key, q)
+		return nil, nil, groupNotFound(key, q)
 	}
-	st := explore.Stats(tuples, g, buckets)
+	st := explore.Stats(p.Tuples, g, buckets)
 	var related []GroupResult
-	for _, rg := range explore.Related(c, g) {
-		related = append(related, groupResult(rg, len(tuples)))
+	for _, rg := range explore.Related(p.Cube, g) {
+		related = append(related, groupResult(rg, len(p.Tuples)))
 	}
 	return &st, related, nil
 }
@@ -466,38 +563,24 @@ func (e *Engine) RefineGroup(q Query, key Key, limit int) ([]Refinement, error) 
 }
 
 // RefineGroupContext is RefineGroup with cancellation between the
-// pipeline's stages.
+// pipeline's stages, served from the materialization tier like
+// ExploreGroupContext.
 func (e *Engine) RefineGroupContext(ctx context.Context, q Query, key Key, limit int) ([]Refinement, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	ids, err := query.Resolve(e.st, q)
+	p, err := e.planFor(ctx, q, e.groupCubeConfig(key))
 	if err != nil {
 		return nil, err
 	}
-	if len(ids) == 0 {
-		return nil, ErrNoItems
-	}
-	tuples := e.st.TuplesForItems(ids, q.Window)
-	if len(tuples) == 0 {
-		return nil, ErrNoRatings
-	}
-	cfg := e.adaptCubeConfig(nil, len(tuples))
-	if !key.Has(cube.State) {
-		cfg.RequireState = false
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	c := cube.Build(tuples, cfg)
-	g, ok := c.Group(key)
+	g, ok := p.Cube.Group(key)
 	if !ok {
-		return nil, fmt.Errorf("maprat: group %v not present for query %s", key, q)
+		return nil, groupNotFound(key, q)
 	}
 	var out []Refinement
-	for _, ref := range explore.Refinements(c, g) {
+	for _, ref := range explore.Refinements(p.Cube, g) {
 		out = append(out, Refinement{
-			Group: groupResult(ref.Group, len(tuples)),
+			Group: groupResult(ref.Group, len(p.Tuples)),
 			Added: ref.Added.String(),
 			Delta: ref.Delta,
 		})
@@ -518,7 +601,9 @@ func (e *Engine) DrillMine(q Query, parent Key, task Task, s Settings) (*TaskRes
 }
 
 // DrillMineContext is DrillMine with cancellation threaded through the
-// sub-problem's RHE run.
+// sub-problem's RHE run. The parent cube comes from the materialization
+// tier; only the city-anchored sub-cube over the parent's tuples is built
+// per call.
 func (e *Engine) DrillMineContext(ctx context.Context, q Query, parent Key, task Task, s Settings) (*TaskResult, error) {
 	if s.K == 0 {
 		s = DefaultSettings()
@@ -526,32 +611,20 @@ func (e *Engine) DrillMineContext(ctx context.Context, q Query, parent Key, task
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	ids, err := query.Resolve(e.st, q)
+	p, err := e.planFor(ctx, q, e.groupCubeConfig(parent))
 	if err != nil {
 		return nil, err
 	}
-	if len(ids) == 0 {
-		return nil, ErrNoItems
-	}
-	tuples := e.st.TuplesForItems(ids, q.Window)
-	if len(tuples) == 0 {
-		return nil, ErrNoRatings
-	}
-	pcfg := e.adaptCubeConfig(nil, len(tuples))
-	if !parent.Has(cube.State) {
-		pcfg.RequireState = false
-	}
-	pc := cube.Build(tuples, pcfg)
-	pg, ok := pc.Group(parent)
+	pg, ok := p.Cube.Group(parent)
 	if !ok {
-		return nil, fmt.Errorf("maprat: group %v not present for query %s", parent, q)
+		return nil, groupNotFound(parent, q)
 	}
 
 	// The sub-problem operates on the parent's tuples only; candidates are
 	// city-anchored cells of that slice.
 	sub := make([]cube.Tuple, 0, len(pg.Members))
 	for _, ti := range pg.Members {
-		sub = append(sub, tuples[ti])
+		sub = append(sub, p.Tuples[ti])
 	}
 	cfg := cube.Config{
 		RequireCity: true,
@@ -560,11 +633,11 @@ func (e *Engine) DrillMineContext(ctx context.Context, q Query, parent Key, task
 		SkipApex:    true,
 	}
 	c := cube.Build(sub, cfg)
-	p, err := core.NewProblem(task, c, s)
+	prob, err := core.NewProblem(task, c, s)
 	if err != nil {
 		return nil, fmt.Errorf("maprat: drill mining: %w", err)
 	}
-	sol, err := p.SolveRHECtx(ctx)
+	sol, err := prob.SolveRHECtx(ctx)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,245 @@
+package maprat
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/cube"
+	"repro/internal/store"
+)
+
+// TestPlanReuseAcrossPipelines is the ISSUE's core acceptance: after one
+// Explain, ExploreGroup, RefineGroup and DrillMine on the same query do
+// zero query-resolution and zero cube-build work — the materialized plan
+// serves all of them.
+func TestPlanReuseAcrossPipelines(t *testing.T) {
+	e := freshEngine(t)
+	q := mustQuery(t, e, `movie:"Toy Story"`)
+
+	ex, err := e.Explain(ExplainRequest{Query: q, Tasks: []Task{SimilarityMining}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := ex.Result(SimilarityMining).Groups[0].Key
+	after := e.PlanStats()
+	if after.Builds != 1 {
+		t.Fatalf("Explain built %d plans, want 1 (stats %+v)", after.Builds, after)
+	}
+
+	if _, _, err := e.ExploreGroup(q, key, 8); err != nil {
+		t.Fatalf("ExploreGroup: %v", err)
+	}
+	if _, err := e.RefineGroup(q, key, 5); err != nil {
+		t.Fatalf("RefineGroup: %v", err)
+	}
+	if _, err := e.DrillMine(q, key, SimilarityMining, DefaultSettings()); err != nil {
+		t.Fatalf("DrillMine: %v", err)
+	}
+
+	st := e.PlanStats()
+	if st.Builds != 1 {
+		t.Errorf("Explore/Refine/DrillMine re-built the plan: builds = %d, want 1", st.Builds)
+	}
+	if st.Hits < 3 {
+		t.Errorf("plan hits = %d, want ≥ 3 (one per follow-up interaction)", st.Hits)
+	}
+	if st.Tuples == 0 || st.Bytes == 0 {
+		t.Errorf("budget accounting empty: %+v", st)
+	}
+}
+
+// TestPlanDisabledEngineStillWorks drives every pipeline with the
+// materialization tier off; planFor must fall back to fresh builds.
+func TestPlanDisabledEngineStillWorks(t *testing.T) {
+	ds, err := Generate(SmallGenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.Store.PlanCacheTuples = 0
+	e, err := Open(ds, &opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := mustQuery(t, e, `movie:"Toy Story"`)
+	ex, err := e.Explain(ExplainRequest{Query: q, Tasks: []Task{SimilarityMining}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := ex.Result(SimilarityMining).Groups[0].Key
+	if _, _, err := e.ExploreGroup(q, key, 8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RefineGroup(q, key, 5); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.PlanStats(); st != (store.PlanStats{}) {
+		t.Errorf("disabled tier reported stats: %+v", st)
+	}
+}
+
+// TestMaterializationDeterminism: mined Solutions for a fixed seed are
+// byte-identical with the materialization tier on and off, and the
+// exploration payloads match too.
+func TestMaterializationDeterminism(t *testing.T) {
+	ds, err := Generate(SmallGenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, err := Open(ds, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offOpts := DefaultOptions()
+	offOpts.Store.PlanCacheTuples = 0
+	offOpts.Store.CacheSize = 0
+	off, err := Open(ds, &offOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, qs := range []string{`movie:"Toy Story"`, `actor:"Tom Hanks"`} {
+		q := mustQuery(t, on, qs)
+		req := ExplainRequest{Query: q}
+		exOn, err := on.Explain(req)
+		if err != nil {
+			t.Fatalf("%s (tier on): %v", qs, err)
+		}
+		exOff, err := off.Explain(req)
+		if err != nil {
+			t.Fatalf("%s (tier off): %v", qs, err)
+		}
+		if !reflect.DeepEqual(stripVolatile(exOn), stripVolatile(exOff)) {
+			t.Errorf("%s: explanations diverge with the tier on/off:\non  %+v\noff %+v",
+				qs, stripVolatile(exOn), stripVolatile(exOff))
+		}
+
+		key := exOn.Results[0].Groups[0].Key
+		stOn, relOn, err := on.ExploreGroup(q, key, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stOff, relOff, err := off.ExploreGroup(q, key, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(stOn, stOff) || !reflect.DeepEqual(relOn, relOff) {
+			t.Errorf("%s: exploration diverges with the tier on/off", qs)
+		}
+	}
+}
+
+// TestExplainCacheHitIsDeepCopy is the regression test for the
+// cache-aliasing bug: a caller mutating its Explanation must not poison
+// the cached value other callers receive.
+func TestExplainCacheHitIsDeepCopy(t *testing.T) {
+	e := freshEngine(t)
+	q := mustQuery(t, e, `movie:"Toy Story"`)
+	req := ExplainRequest{Query: q, Tasks: []Task{SimilarityMining}}
+
+	first, err := e.Explain(req) // leader: its value IS the cached one
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIDs := append([]int(nil), first.ItemIDs...)
+	wantQuery := first.Query.String()
+	wantPhrase := first.Results[0].Groups[0].Phrase
+	wantGroups := len(first.Results[0].Groups)
+
+	// Maul the leader's copy in every aliased dimension.
+	first.ItemIDs[0] = -999
+	first.Query.Preds[0].Value = "poisoned"
+	first.Results[0].Groups[0].Phrase = "poisoned"
+	first.Results[0].Groups = first.Results[0].Groups[:0]
+	first.Results = first.Results[:0]
+
+	second, err := e.Explain(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.FromCache {
+		t.Fatal("second fetch missed the cache")
+	}
+	if !reflect.DeepEqual(second.ItemIDs, wantIDs) {
+		t.Errorf("ItemIDs poisoned through the cache: %v", second.ItemIDs)
+	}
+	if got := second.Query.String(); got != wantQuery {
+		t.Errorf("Query.Preds poisoned through the cache: %q, want %q", got, wantQuery)
+	}
+	if len(second.Results) != 1 || len(second.Results[0].Groups) != wantGroups {
+		t.Fatalf("Results/Groups poisoned through the cache: %+v", second.Results)
+	}
+	if got := second.Results[0].Groups[0].Phrase; got != wantPhrase {
+		t.Errorf("Phrase = %q, want %q", got, wantPhrase)
+	}
+
+	// And a hit's copy must not poison the next hit either.
+	second.Results[0].Groups[0].Phrase = "poisoned again"
+	third, err := e.Explain(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := third.Results[0].Groups[0].Phrase; got != wantPhrase {
+		t.Errorf("hit-to-hit aliasing: Phrase = %q, want %q", got, wantPhrase)
+	}
+}
+
+// TestConcurrentExploresBuildPlanOnce is the -race check that concurrent
+// first-touch interactions on one query collapse into a single plan build
+// through the tier's singleflight front.
+func TestConcurrentExploresBuildPlanOnce(t *testing.T) {
+	e := freshEngine(t)
+	q := mustQuery(t, e, `movie:"Toy Story"`)
+	// The CA state group materializes for every Toy-Story-scale query.
+	key := cube.KeyAll.With(cube.State, cube.StateIndex("CA"))
+
+	const callers = 12
+	var wg sync.WaitGroup
+	stats := make([]*GroupStats, callers)
+	errs := make([]error, callers)
+	start := make(chan struct{})
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			stats[i], _, errs[i] = e.ExploreGroup(q, key, 8)
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if !reflect.DeepEqual(*stats[i], *stats[0]) {
+			t.Fatalf("caller %d diverged", i)
+		}
+	}
+	if st := e.PlanStats(); st.Builds != 1 {
+		t.Fatalf("burst of %d explores built %d plans, want 1 (stats %+v)", callers, st.Builds, st)
+	}
+}
+
+// TestPlanSharedBetweenExplainAndFrameworkMode: a framework-mode
+// (un-anchored) request uses a different cube config and therefore a
+// different plan — the tier must key them apart.
+func TestPlanKeyedByCubeConfig(t *testing.T) {
+	e := freshEngine(t)
+	q := mustQuery(t, e, `movie:"The Twilight Saga: Eclipse"`)
+	s := DefaultSettings()
+	s.K = 2
+	s.Coverage = 0.10
+	if _, err := e.Explain(ExplainRequest{Query: q, Settings: s, Tasks: []Task{DiversityMining}}); err != nil {
+		t.Fatal(err)
+	}
+	free := cube.Config{RequireState: false, MinSupport: 8, MaxAVPairs: 2, SkipApex: true}
+	if _, err := e.Explain(ExplainRequest{Query: q, Settings: s, Tasks: []Task{DiversityMining}, CubeConfig: &free}); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.PlanStats(); st.Builds != 2 {
+		t.Errorf("distinct cube configs shared a plan: builds = %d, want 2", st.Builds)
+	}
+}
