@@ -186,13 +186,7 @@ func benchProblem(b *testing.B, e *Engine, qs string, task Task) *core.Problem {
 		b.Fatalf("resolve: %v", err)
 	}
 	tuples := e.Store().TuplesForItems(ids, q.Window)
-	cfg := cube.DefaultConfig()
-	if adaptive := len(tuples) / 50; adaptive < cfg.MinSupport {
-		cfg.MinSupport = adaptive
-	}
-	if cfg.MinSupport < 3 {
-		cfg.MinSupport = 3
-	}
+	cfg := AdaptCubeConfig(cube.DefaultConfig(), len(tuples))
 	c := cube.Build(tuples, cfg)
 	p, err := core.NewProblem(task, c, DefaultSettings())
 	if err != nil {
@@ -259,11 +253,7 @@ func BenchmarkE7_Scalability(b *testing.B) {
 		q := benchQuery(b, e, `actor:"Tom Hanks"`)
 		ids, _ := query.Resolve(e.Store(), q)
 		tuples := e.Store().TuplesForItems(ids, q.Window)
-		cfg := cube.DefaultConfig()
-		if adaptive := len(tuples) / 50; adaptive < cfg.MinSupport {
-			cfg.MinSupport = adaptive
-		}
-		c := cube.Build(tuples, cfg)
+		c := cube.Build(tuples, AdaptCubeConfig(cube.DefaultConfig(), len(tuples)))
 		s := DefaultSettings()
 		s.K = k
 		p, err := core.NewProblem(SimilarityMining, c, s)
@@ -406,6 +396,36 @@ func BenchmarkWarmExplore(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkColdExplain measures the first-response latency the paper's
+// interactivity rests on: a full Explain with every cache tier disabled, so
+// the run pays query resolution, the R_I gather, candidate-cube
+// construction and the RHE solve from scratch. This is the cold path the
+// packed-key cube build and the bitset coverage engine target; the warm
+// path is covered by BenchmarkWarmExplore.
+func BenchmarkColdExplain(b *testing.B) {
+	e := benchEngine(b)
+	for _, c := range []struct {
+		name string
+		q    string
+	}{
+		{"title", `movie:"Toy Story"`},
+		{"actor", `actor:"Tom Hanks"`},
+		{"genre", `genre:Animation`},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			q := benchQuery(b, e, c.q)
+			req := ExplainRequest{Query: q, DisableCache: true}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Explain(req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkE9_TimeSlider measures the §3.1 per-year mining sweep.

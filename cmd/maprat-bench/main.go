@@ -8,6 +8,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"log"
 	"os"
@@ -18,14 +19,24 @@ import (
 	"repro/internal/bench"
 )
 
+// snapshot is the machine-readable form of a bench run (-json): the
+// committed BENCH_*.json files track the perf trajectory PR over PR.
+type snapshot struct {
+	Scale   string         `json:"scale"`
+	Seed    int64          `json:"seed"`
+	Ratings int            `json:"ratings"`
+	Reports []bench.Report `json:"reports"`
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("maprat-bench: ")
 
 	var (
-		scale = flag.String("scale", "full", "dataset scale: small|full")
-		seed  = flag.Int64("seed", 1, "generator seed")
-		only  = flag.String("only", "", "comma-separated experiment IDs to run (default all)")
+		scale    = flag.String("scale", "full", "dataset scale: small|full")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		only     = flag.String("only", "", "comma-separated experiment IDs to run (default all)")
+		jsonPath = flag.String("json", "", "also write the reports as a JSON snapshot to this path")
 	)
 	flag.Parse()
 
@@ -53,29 +64,41 @@ func main() {
 	log.Printf("engine opened (indexes + global cube precompute) in %s",
 		time.Since(start).Round(time.Millisecond))
 
-	experiments := map[string]func(*maprat.Engine) bench.Report{
-		"E1":  bench.E1Queries,
-		"E2":  bench.E2SimilarityToyStory,
-		"E3":  bench.E3Exploration,
-		"E4":  bench.E4Controversial,
-		"E5":  bench.E5Caching,
-		"E6":  bench.E6QualityVsBaselines,
-		"E7":  bench.E7Scalability,
-		"E8":  bench.E8Rendering,
-		"E9":  bench.E9TimeSlider,
-		"E10": bench.E10Ablations,
+	// The experiment list, order and IDs come from the one registry in
+	// internal/bench, so a newly registered experiment cannot be dropped
+	// from default runs or snapshots by a stale list here.
+	experiments := map[string]func(*maprat.Engine) bench.Report{}
+	order := make([]string, 0, len(bench.Experiments))
+	for _, e := range bench.Experiments {
+		experiments[e.ID] = e.Run
+		order = append(order, e.ID)
 	}
-	if *only == "" {
-		bench.RunAll(eng, os.Stdout)
-		return
+	if *only != "" {
+		order = nil
+		for _, id := range strings.Split(*only, ",") {
+			order = append(order, strings.TrimSpace(strings.ToUpper(id)))
+		}
 	}
-	for _, id := range strings.Split(*only, ",") {
-		id = strings.TrimSpace(strings.ToUpper(id))
+
+	snap := snapshot{Scale: *scale, Seed: *seed, Ratings: stats.Ratings}
+	for _, id := range order {
 		run, ok := experiments[id]
 		if !ok {
-			log.Fatalf("unknown experiment %q (have E1..E9)", id)
+			log.Fatalf("unknown experiment %q (have %s..%s)", id,
+				bench.Experiments[0].ID, bench.Experiments[len(bench.Experiments)-1].ID)
 		}
 		rep := run(eng)
 		rep.Print(os.Stdout)
+		snap.Reports = append(snap.Reports, rep)
+	}
+	if *jsonPath != "" {
+		out, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*jsonPath, append(out, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote snapshot %s", *jsonPath)
 	}
 }

@@ -37,15 +37,27 @@ func (r *Report) Print(w io.Writer) {
 	}
 }
 
+// Experiment pairs an experiment ID with its runner.
+type Experiment struct {
+	ID  string
+	Run func(*maprat.Engine) Report
+}
+
+// Experiments is the single ordered registry of every experiment; RunAll
+// and cmd/maprat-bench both iterate it, so a new experiment registered
+// here appears in default runs, -only lookup, and JSON snapshots alike.
+var Experiments = []Experiment{
+	{"E1", E1Queries}, {"E2", E2SimilarityToyStory}, {"E3", E3Exploration},
+	{"E4", E4Controversial}, {"E5", E5Caching}, {"E6", E6QualityVsBaselines},
+	{"E7", E7Scalability}, {"E8", E8Rendering}, {"E9", E9TimeSlider},
+	{"E10", E10Ablations}, {"E11", E11ColdPath},
+}
+
 // RunAll executes every experiment against the engine and streams the
 // reports.
 func RunAll(eng *maprat.Engine, w io.Writer) {
-	for _, run := range []func(*maprat.Engine) Report{
-		E1Queries, E2SimilarityToyStory, E3Exploration, E4Controversial,
-		E5Caching, E6QualityVsBaselines, E7Scalability, E8Rendering, E9TimeSlider,
-		E10Ablations,
-	} {
-		rep := run(eng)
+	for _, e := range Experiments {
+		rep := e.Run(eng)
 		rep.Print(w)
 	}
 }
@@ -371,13 +383,11 @@ func buildProblem(eng *maprat.Engine, qs string, task core.Task, tweak func(*map
 	}
 	if cfg.MinSupport == 0 {
 		cfg.MinSupport = len(tuples) / 50
+		if cfg.MinSupport < 3 {
+			cfg.MinSupport = 3
+		}
 	}
-	if adaptive := len(tuples) / 50; adaptive < cfg.MinSupport {
-		cfg.MinSupport = adaptive
-	}
-	if cfg.MinSupport < 3 {
-		cfg.MinSupport = 3
-	}
+	cfg = maprat.AdaptCubeConfig(cfg, len(tuples))
 	// Coarse instances for exhaustive search need aggressive pruning.
 	if cfgOverride != nil && cfgOverride.MaxAVPairs == 1 {
 		cfg.MinSupport = len(tuples) / 60
@@ -507,6 +517,61 @@ func truncate(s string, n int) string {
 	return s[:n-1] + "…"
 }
 
+// E11ColdPath measures the cold first-response pipeline the packed-key
+// cube build and the bitset coverage engine target: a full Explain with
+// every cache tier disabled, plus the two kernels in isolation against
+// their retained reference implementations. Snapshots of this report
+// (BENCH_PR3.json) track the cold-path trajectory across PRs.
+func E11ColdPath(eng *maprat.Engine) Report {
+	r := Report{ID: "E11", Title: "cold path — packed cube build + bitset coverage"}
+
+	r.addf("-- cold Explain (all cache tiers disabled) --")
+	r.addf("%-44s %9s %12s", "query", "ratings", "median")
+	for _, qs := range []string{
+		`movie:"Toy Story"`,
+		`actor:"Tom Hanks"`,
+		`genre:Animation`,
+	} {
+		q := mustParse(eng, qs)
+		req := maprat.ExplainRequest{Query: q, DisableCache: true}
+		var ex *maprat.Explanation
+		med := timeIt(3, func() {
+			var err error
+			ex, err = eng.Explain(req)
+			if err != nil {
+				panic(err)
+			}
+		})
+		r.addf("%-44s %9d %12s", truncate(qs, 44), ex.NumRatings, med)
+	}
+
+	// Kernel isolation on a mid-size R_I: the packed build and the bitset
+	// coverage engine against their executable reference specifications.
+	q := mustParse(eng, `actor:"Tom Hanks"`)
+	ids, _ := query.Resolve(eng.Store(), q)
+	tuples := eng.Store().TuplesForItems(ids, q.Window)
+	cfg := maprat.AdaptCubeConfig(cube.DefaultConfig(), len(tuples))
+	r.addf("-- cube build over %d tuples --", len(tuples))
+	packed := timeIt(5, func() { cube.Build(tuples, cfg) })
+	reference := timeIt(5, func() { cube.BuildReference(tuples, cfg) })
+	r.addf("packed two-pass build   : %12s", packed)
+	r.addf("reference map build     : %12s", reference)
+	if packed > 0 {
+		r.addf("speedup                 : %11.1fx", float64(reference)/float64(packed))
+	}
+
+	c := cube.Build(tuples, cfg)
+	p, err := core.NewProblem(core.SimilarityMining, c, maprat.DefaultSettings())
+	if err != nil {
+		r.addf("coverage kernel skipped: %v", err)
+		return r
+	}
+	r.addf("-- RHE solve (%d candidates, %d tuples) --", len(p.Candidates()), p.NumTuples())
+	solve := timeIt(3, func() { p.SolveRHE() })
+	r.addf("bitset coverage engine  : %12s", solve)
+	return r
+}
+
 // E10Ablations measures the design choices DESIGN.md calls out: geo-
 // anchored vs framework candidates, the DM sibling boost, and σ vs MAD as
 // the consistency error.
@@ -572,10 +637,7 @@ func E10Ablations(eng *maprat.Engine) Report {
 	// (c) σ vs MAD over the Toy Story candidates: agreement of the two
 	// consistency errors on candidate ordering.
 	r.addf("-- (c) σ vs MAD as the consistency error (Toy Story candidates) --")
-	cfg := cube.DefaultConfig()
-	if adaptive := len(tuples) / 50; adaptive < cfg.MinSupport {
-		cfg.MinSupport = adaptive
-	}
+	cfg := maprat.AdaptCubeConfig(cube.DefaultConfig(), len(tuples))
 	c := cube.Build(tuples, cfg)
 	type pairErr struct{ sigma, mad float64 }
 	errs := make([]pairErr, 0, c.Len())

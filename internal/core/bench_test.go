@@ -72,6 +72,29 @@ func BenchmarkSolveRHEWorkers(b *testing.B) {
 	}
 }
 
+// BenchmarkRHECoverage measures the coverage engine behind RHE's sampled
+// neighbourhood: one full solve on the bitset engine (word-wise OR +
+// popcount, incremental swap evaluation) against the epoch-marking
+// reference that re-scans every selected group's member list per trial.
+func BenchmarkRHECoverage(b *testing.B) {
+	run := func(b *testing.B, reference bool) {
+		p := benchInstance(b, SimilarityMining)
+		p.Settings.Restarts = 4
+		if reference {
+			p.useReferenceCoverage()
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if sol := p.SolveRHE(); !sol.Feasible {
+				b.Fatal("infeasible")
+			}
+		}
+	}
+	b.Run("bitset", func(b *testing.B) { run(b, false) })
+	b.Run("reference", func(b *testing.B) { run(b, true) })
+}
+
 func BenchmarkSolveGreedy(b *testing.B) {
 	p := benchInstance(b, SimilarityMining)
 	b.ReportAllocs()

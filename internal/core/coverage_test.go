@@ -1,0 +1,159 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/cube"
+)
+
+// cityMiningTuples plants per-city structure inside a couple of states so
+// the drill-down (RequireCity) configuration has cells to mine.
+func cityMiningTuples(n int, seed int64) []cube.Tuple {
+	rng := rand.New(rand.NewSource(seed))
+	tuples := make([]cube.Tuple, n)
+	for i := range tuples {
+		var t cube.Tuple
+		t.Vals[cube.Gender] = int16(rng.Intn(2))
+		t.Vals[cube.Age] = int16(rng.Intn(5))
+		t.Vals[cube.Occupation] = int16(rng.Intn(8))
+		t.Vals[cube.State] = int16(rng.Intn(3))
+		t.Vals[cube.City] = int16(rng.Intn(8))
+		t.Score = int8(1 + (int(t.Vals[cube.City])+rng.Intn(2))%5)
+		t.UserID = int32(i + 1)
+		t.ItemID = 1
+		t.Unix = 1_000_000 + int64(i)
+		tuples[i] = t
+	}
+	return tuples
+}
+
+// TestCoverageEnginesAgree drives the bitset engine and the epoch-marking
+// reference engine over random selections and demands identical integers,
+// cross-checked against a brute-force set union.
+func TestCoverageEnginesAgree(t *testing.T) {
+	c := buildCube(t, miningTuples(900, 3), cube.Config{RequireState: true, MinSupport: 4, MaxAVPairs: 3})
+	p := newProblem(t, SimilarityMining, c, DefaultSettings())
+	ref := newProblem(t, SimilarityMining, c, DefaultSettings())
+	ref.useReferenceCoverage()
+
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		k := 1 + rng.Intn(5)
+		sel := make([]int, 0, k)
+		for len(sel) < k {
+			sel = append(sel, rng.Intn(c.Len()))
+		}
+		want := map[int32]bool{}
+		for _, gi := range sel {
+			for _, ti := range c.Groups[gi].Members {
+				want[ti] = true
+			}
+		}
+		if got := p.coveredCount(sel); got != len(want) {
+			t.Fatalf("bitset coveredCount(%v) = %d, brute force %d", sel, got, len(want))
+		}
+		if got := ref.coveredCount(sel); got != len(want) {
+			t.Fatalf("reference coveredCount(%v) = %d, brute force %d", sel, got, len(want))
+		}
+
+		skip := rng.Intn(len(sel)+1) - 1 // -1..len-1
+		p.markSelection(sel, skip)
+		ref.markSelection(sel, skip)
+		gi := rng.Intn(c.Len())
+		if a, b := p.unmarkedCount(gi), ref.unmarkedCount(gi); a != b {
+			t.Fatalf("unmarkedCount(%d) after mark(%v, %d): bitset %d, reference %d", gi, sel, skip, a, b)
+		}
+		if a, b := p.leastUniqueIndex(sel), ref.leastUniqueIndex(sel); a != b {
+			t.Fatalf("leastUniqueIndex(%v): bitset %d, reference %d", sel, a, b)
+		}
+	}
+}
+
+// TestSolversMatchReferenceEngine is the end-to-end differential test: for
+// fixed seeds, every solver must return a byte-identical Solution with the
+// new kernels on (packed build + bitset coverage + incremental
+// neighbourhood scan) and off (reference map build + epoch marking +
+// from-scratch evaluation) — across SM and DM, the city drill-down
+// configuration, and evolution-style time-window slices.
+func TestSolversMatchReferenceEngine(t *testing.T) {
+	type instance struct {
+		name   string
+		tuples []cube.Tuple
+		cfg    cube.Config
+		tweak  func(*Settings)
+	}
+	instances := []instance{
+		{"sm-default", miningTuples(1200, 11), cube.Config{RequireState: true, MinSupport: 10, MaxAVPairs: 3, SkipApex: true}, nil},
+		{"framework", polarizedTuples(900, 13), cube.Config{RequireState: false, MinSupport: 8, MaxAVPairs: 2, SkipApex: true},
+			func(s *Settings) { s.K = 2; s.Coverage = 0.05 }},
+		{"city-drill", cityMiningTuples(1000, 17), cube.Config{RequireCity: true, MinSupport: 5, MaxAVPairs: 3, SkipApex: true},
+			func(s *Settings) { s.Coverage = 0.10 }},
+	}
+	// Evolution-style windows: consecutive slices of one log (tuples are
+	// Unix-ordered by construction), each mined as its own instance.
+	evo := miningTuples(1500, 19)
+	for i, lo := 0, 0; i < 3; i++ {
+		hi := (i + 1) * len(evo) / 3
+		instances = append(instances, instance{
+			name:   "evo-window-" + string(rune('0'+i)),
+			tuples: evo[lo:hi],
+			cfg:    cube.Config{RequireState: true, MinSupport: 6, MaxAVPairs: 3, SkipApex: true},
+		})
+		lo = hi
+	}
+
+	for _, inst := range instances {
+		for _, task := range []Task{SimilarityMining, DiversityMining} {
+			s := DefaultSettings()
+			s.Restarts = 6
+			if inst.tweak != nil {
+				inst.tweak(&s)
+			}
+			packed := cube.Build(inst.tuples, inst.cfg)
+			refCube := cube.BuildReference(inst.tuples, inst.cfg)
+
+			p, err := NewProblem(task, packed, s)
+			ref, rerr := NewProblem(task, refCube, s)
+			if (err == nil) != (rerr == nil) {
+				t.Fatalf("%s/%v: constructor divergence: %v vs %v", inst.name, task, err, rerr)
+			}
+			if err != nil {
+				continue
+			}
+			ref.useReferenceCoverage()
+
+			got, want := p.SolveRHE(), ref.SolveRHE()
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s/%v: RHE diverged:\nnew kernels %+v\nreference   %+v", inst.name, task, got, want)
+			}
+			if g, w := p.SolveGreedy(), ref.SolveGreedy(); !reflect.DeepEqual(g, w) {
+				t.Fatalf("%s/%v: greedy diverged:\nnew kernels %+v\nreference   %+v", inst.name, task, g, w)
+			}
+			if g, w := p.SolveRandom(8), ref.SolveRandom(8); !reflect.DeepEqual(g, w) {
+				t.Fatalf("%s/%v: random diverged:\nnew kernels %+v\nreference   %+v", inst.name, task, g, w)
+			}
+		}
+	}
+}
+
+// TestParallelRHEMatchesReference pins the full matrix: the worker-pool
+// solver on the bitset engine equals the sequential reference run.
+func TestParallelRHEMatchesReference(t *testing.T) {
+	c := buildCube(t, miningTuples(1000, 23), cube.Config{RequireState: true, MinSupport: 8, MaxAVPairs: 3, SkipApex: true})
+	s := DefaultSettings()
+	s.Restarts = 8
+
+	ref := newProblem(t, DiversityMining, cube.BuildReference(c.Tuples, c.Cfg), s)
+	ref.useReferenceCoverage()
+	want := ref.SolveRHE()
+
+	for _, workers := range []int{1, 2, 4} {
+		s.Workers = workers
+		p := newProblem(t, DiversityMining, c, s)
+		if got := p.SolveRHE(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d diverged from reference:\n%+v\n%+v", workers, got, want)
+		}
+	}
+}

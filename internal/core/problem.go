@@ -140,9 +140,21 @@ type Problem struct {
 
 	total int // |R_I|
 
-	// coverage scratch: epoch marking over tuples
-	mark  []int32
-	epoch int32
+	// Coverage engine state (see coverage.go). bits is the cube's cached
+	// per-group member bitset table, shared read-only across every Problem
+	// on the same cube; cover and base are this instance's scratch
+	// bitsets; the trial buffers back the solver's neighbourhood scans.
+	bits     [][]uint64
+	cover    []uint64
+	base     []uint64
+	trialBuf []int
+	dropBuf  []int
+
+	// reference coverage engine (differential tests): epoch marking over
+	// tuples
+	refCoverage bool
+	mark        []int32
+	epoch       int32
 }
 
 // NewProblem builds an instance. It fails fast when no candidate survives
@@ -153,12 +165,15 @@ func NewProblem(task Task, c *cube.Cube, s Settings) (*Problem, error) {
 	if err := s.normalize(); err != nil {
 		return nil, err
 	}
+	words := cube.BitsetWords(len(c.Tuples))
 	p := &Problem{
 		Task:     task,
 		Cube:     c,
 		Settings: s,
 		total:    len(c.Tuples),
-		mark:     make([]int32, len(c.Tuples)),
+		bits:     c.MemberBits(),
+		cover:    make([]uint64, words),
+		base:     make([]uint64, words),
 	}
 	for i := range c.Groups {
 		if compatible(c.Groups[i].Key, s.Profile) {
@@ -204,12 +219,18 @@ func NewProblem(task Task, c *cube.Cube, s Settings) (*Problem, error) {
 }
 
 // scratchClone returns a shallow copy sharing the immutable instance data
-// (cube, candidate orders) but owning fresh coverage scratch, so solver
-// workers can evaluate selections concurrently.
+// (cube, candidate orders, member bitsets) but owning fresh coverage and
+// trial scratch, so solver workers can evaluate selections concurrently.
 func (p *Problem) scratchClone() *Problem {
 	q := *p
-	q.mark = make([]int32, len(p.Cube.Tuples))
-	q.epoch = 0
+	words := cube.BitsetWords(len(p.Cube.Tuples))
+	q.cover = make([]uint64, words)
+	q.base = make([]uint64, words)
+	q.trialBuf, q.dropBuf = nil, nil
+	if p.refCoverage {
+		q.mark = make([]int32, len(p.Cube.Tuples))
+		q.epoch = 0
+	}
 	return &q
 }
 
@@ -244,20 +265,6 @@ func (p *Problem) NumTuples() int { return p.total }
 // indices (into Cube.Groups) as a fraction of |R_I|.
 func (p *Problem) CoverageOf(sel []int) float64 {
 	return float64(p.coveredCount(sel)) / float64(max(1, p.total))
-}
-
-func (p *Problem) coveredCount(sel []int) int {
-	p.epoch++
-	covered := 0
-	for _, gi := range sel {
-		for _, ti := range p.Cube.Groups[gi].Members {
-			if p.mark[ti] != p.epoch {
-				p.mark[ti] = p.epoch
-				covered++
-			}
-		}
-	}
-	return covered
 }
 
 // Objective computes the task objective for a selection (lower is better

@@ -259,49 +259,82 @@ func (p *Problem) randomFeasibleInit(rng *rand.Rand) ([]int, bool) {
 	return sel, float64(p.coveredCount(sel)) >= p.required()
 }
 
-// markSelection marks the members of every selected group except the one
-// at position skip (pass -1 to mark all).
-func (p *Problem) markSelection(sel []int, skip int) {
-	p.epoch++
-	for i, gi := range sel {
-		if i == skip {
-			continue
-		}
-		for _, ti := range p.Cube.Groups[gi].Members {
-			p.mark[ti] = p.epoch
-		}
-	}
-}
-
-// unmarkedCount counts a group's members not marked in the current epoch —
-// its marginal coverage against the marked selection.
-func (p *Problem) unmarkedCount(gi int) int {
-	n := 0
-	for _, ti := range p.Cube.Groups[gi].Members {
-		if p.mark[ti] != p.epoch {
-			n++
-		}
-	}
-	return n
-}
-
-// leastUniqueIndex returns the selection position whose group contributes
-// the fewest tuples nobody else covers.
-func (p *Problem) leastUniqueIndex(sel []int) int {
-	worst, worstUnique := 0, int(^uint(0)>>1)
-	for i := range sel {
-		p.markSelection(sel, i)
-		if u := p.unmarkedCount(sel[i]); u < worstUnique {
-			worstUnique, worst = u, i
-		}
-	}
-	return worst
-}
-
 // bestSampledMove examines a sampled neighbourhood — swapping each position
 // with SampleSize candidates, dropping a position, adding a candidate — and
 // returns the best feasible selection that improves on curObj.
+//
+// Coverage is evaluated incrementally: for each position, the union bitset
+// of the other selected groups is built once (markSelection), and every
+// sampled replacement then costs a single AND-NOT popcount of the
+// candidate's bitset against that base — instead of re-marking all K
+// groups' member lists per trial as the reference scan does. Trials reuse
+// one scratch selection, and the objective is only computed for feasible
+// trials; the trial order, the evaluation count and every number compared
+// are identical to the reference, so the chosen move is too.
 func (p *Problem) bestSampledMove(rng *rand.Rand, sel []int, curObj float64) (newSel []int, obj float64, evals int, moved bool) {
+	if p.refCoverage {
+		return p.bestSampledMoveRef(rng, sel, curObj)
+	}
+	bestObj := curObj
+	var bestSel []int
+
+	inSel := map[int]bool{}
+	for _, gi := range sel {
+		inSel[gi] = true
+	}
+	required := p.required()
+	// consider scores one trial whose exact union coverage is already
+	// known; the trial slice is scratch and cloned only on improvement.
+	consider := func(covered int, trial []int) {
+		evals++
+		if len(trial) < p.minGroups() || len(trial) > p.Settings.K ||
+			float64(covered) < required || hasDup(trial) {
+			return
+		}
+		if o := p.Objective(trial); o < bestObj-1e-12 {
+			bestObj, bestSel = o, clone(trial)
+		}
+	}
+
+	sample := p.sampleCandidates(rng, inSel)
+	trial := append(p.trialBuf[:0], sel...)
+	for pos := range sel {
+		p.markSelection(sel, pos) // base = union of sel minus pos
+		others := p.baseCount()
+		for _, cand := range sample {
+			trial[pos] = cand
+			consider(others+p.unmarkedCount(cand), trial)
+		}
+		trial[pos] = sel[pos]
+		if len(sel) > p.minGroups() {
+			drop := append(p.dropBuf[:0], sel[:pos]...)
+			drop = append(drop, sel[pos+1:]...)
+			consider(others, drop)
+			p.dropBuf = drop
+		}
+	}
+	if len(sel) < p.Settings.K {
+		p.markSelection(sel, -1) // base = union of the whole selection
+		all := p.baseCount()
+		grow := append(trial, 0)
+		for _, cand := range sample {
+			grow[len(grow)-1] = cand
+			consider(all+p.unmarkedCount(cand), grow)
+		}
+		trial = grow[:len(sel)]
+	}
+	p.trialBuf = trial
+
+	if bestSel == nil {
+		return sel, curObj, evals, false
+	}
+	return bestSel, bestObj, evals, true
+}
+
+// bestSampledMoveRef is the reference neighbourhood scan: every trial is
+// evaluated from scratch through Evaluate. Kept for the differential
+// tests; bestSampledMove must select the identical move.
+func (p *Problem) bestSampledMoveRef(rng *rand.Rand, sel []int, curObj float64) (newSel []int, obj float64, evals int, moved bool) {
 	bestObj := curObj
 	var bestSel []int
 

@@ -34,6 +34,32 @@ func BenchmarkBuildFramework(b *testing.B) {
 	}
 }
 
+// BenchmarkBuildPacked measures the packed two-pass cube build against
+// the retained reference (map[Key]*cell) build on the identical input —
+// the cold-path kernel the flat table and member arena optimize.
+func BenchmarkBuildPacked(b *testing.B) {
+	tuples := benchTuples(10_000)
+	cfg := DefaultConfig()
+	b.Run("packed", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if c := Build(tuples, cfg); c.Len() == 0 {
+				b.Fatal("empty cube")
+			}
+		}
+	})
+	b.Run("reference", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if c := BuildReference(tuples, cfg); c.Len() == 0 {
+				b.Fatal("empty cube")
+			}
+		}
+	})
+}
+
 func BenchmarkKeyMatches(b *testing.B) {
 	k := KeyAll.With(Gender, 1).With(State, 7)
 	vals := [NumAttrs]int16{1, 3, 12, 7}

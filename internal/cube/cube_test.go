@@ -422,7 +422,7 @@ func TestJoinRatingAndResolveUser(t *testing.T) {
 		tup.Vals[Occupation] != 12 || StateCode(tup.Vals[State]) != "CA" {
 		t.Errorf("JoinRating vals = %v", tup.Vals)
 	}
-	if tup.Score != 4 || tup.City != "San Francisco" || tup.UserID != 7 || tup.ItemID != 3 {
+	if tup.Score != 4 || CityName(tup.Vals[City]) != "San Francisco" || tup.UserID != 7 || tup.ItemID != 3 {
 		t.Errorf("JoinRating = %+v", tup)
 	}
 	bad := model.User{ID: 8, Zip: "00000"}
@@ -486,11 +486,9 @@ func cityTuples(n int) []Tuple {
 		if i%2 == 0 {
 			tp.Vals[City] = la
 			tp.Score = 5
-			tp.City = "Los Angeles"
 		} else {
 			tp.Vals[City] = sf
 			tp.Score = 2
-			tp.City = "San Francisco"
 		}
 		tp.UserID = int32(i + 1)
 		tp.Unix = 1_000_000 + int64(i)

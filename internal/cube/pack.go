@@ -1,0 +1,200 @@
+package cube
+
+// Packed cell codes: a Key is a vector of small known-cardinality digits
+// (gender×age×occupation×state×city, each possibly Wildcard), so the whole
+// descriptor fits one mixed-radix integer. The cube builder keys its flat
+// cell table by this code instead of hashing a 10-byte Key per insert, and
+// the code doubles as a sort key: attribute 0 is the most significant
+// digit and Wildcard packs below every real value, so ascending code order
+// is exactly lessKey order.
+
+// packRadix[a] is the digit base of attribute a: its vocabulary size plus
+// one slot for Wildcard (digit 0).
+var packRadix = func() [NumAttrs]uint64 {
+	var r [NumAttrs]uint64
+	for a := 0; a < NumAttrs; a++ {
+		r[a] = uint64(Cardinality(Attr(a)) + 1)
+	}
+	return r
+}()
+
+// packWeight[a] is the positional weight of attribute a's digit: the
+// product of the radices of all less-significant (higher-index) attributes.
+// The full code space is Π packRadix ≈ 3.6M, far inside uint64 (and even
+// uint32); the headroom keeps the encoding stable if vocabularies grow.
+var packWeight = func() [NumAttrs]uint64 {
+	var w [NumAttrs]uint64
+	acc := uint64(1)
+	for a := NumAttrs - 1; a >= 0; a-- {
+		w[a] = acc
+		acc *= packRadix[a]
+	}
+	return w
+}()
+
+// PackKey encodes a descriptor into its mixed-radix cell code. Every
+// attribute value must be Wildcard or a valid index for its vocabulary.
+func PackKey(k Key) uint64 {
+	var code uint64
+	for a := 0; a < NumAttrs; a++ {
+		code += uint64(k[a]+1) * packWeight[a]
+	}
+	return code
+}
+
+// UnpackKey decodes a cell code back into the descriptor it encodes.
+// UnpackKey(PackKey(k)) == k for every valid Key.
+func UnpackKey(code uint64) Key {
+	var k Key
+	for a := 0; a < NumAttrs; a++ {
+		k[a] = int16(code/packWeight[a]%packRadix[a]) - 1
+	}
+	return k
+}
+
+// packTable is an open-addressed hash table from cell code to aggregate —
+// the flat replacement for map[Key]*cell in the cube build. Slots store
+// code+1 so the zero value marks an empty slot (code 0 is the valid apex
+// cell). Linear probing keeps collision chains in cache; the table grows
+// at ~70% load.
+type packTable struct {
+	keys []uint64 // code+1; 0 = empty
+	aggs []Agg
+	mask uint64
+	n    int // occupied slots
+	lim  int // grow threshold
+}
+
+func newPackTable(hint int) *packTable {
+	size := 64
+	for size*7 < hint*10 {
+		size <<= 1
+	}
+	t := &packTable{}
+	t.init(size)
+	return t
+}
+
+func (t *packTable) init(size int) {
+	t.keys = make([]uint64, size)
+	t.aggs = make([]Agg, size)
+	t.mask = uint64(size - 1)
+	t.lim = size * 7 / 10
+}
+
+// probe returns the slot holding key k (= code+1) or the empty slot where
+// it belongs.
+func (t *packTable) probe(k uint64) int {
+	h := k * 0x9E3779B97F4A7C15 // Fibonacci scramble of the dense code space
+	i := (h ^ h>>29) & t.mask
+	for t.keys[i] != 0 && t.keys[i] != k {
+		i = (i + 1) & t.mask
+	}
+	return int(i)
+}
+
+// add accumulates one score into the cell for code, inserting it on first
+// touch.
+func (t *packTable) add(code uint64, score int8) {
+	if t.n >= t.lim {
+		t.grow()
+	}
+	i := t.probe(code + 1)
+	if t.keys[i] == 0 {
+		t.keys[i] = code + 1
+		t.n++
+	}
+	t.aggs[i].Add(score)
+}
+
+// slot returns the occupied slot index for code, or -1.
+func (t *packTable) slot(code uint64) int {
+	i := t.probe(code + 1)
+	if t.keys[i] == 0 {
+		return -1
+	}
+	return i
+}
+
+func (t *packTable) grow() {
+	oldKeys, oldAggs := t.keys, t.aggs
+	t.init(len(oldKeys) * 2)
+	for i, k := range oldKeys {
+		if k == 0 {
+			continue
+		}
+		j := t.probe(k)
+		t.keys[j] = k
+		t.aggs[j] = oldAggs[i]
+	}
+}
+
+// merge folds another table's cells into t with the O(1) Agg merge.
+func (t *packTable) merge(other *packTable) {
+	for i, k := range other.keys {
+		if k == 0 {
+			continue
+		}
+		if t.n >= t.lim {
+			t.grow()
+		}
+		j := t.probe(k)
+		if t.keys[j] == 0 {
+			t.keys[j] = k
+			t.n++
+		}
+		t.aggs[j].Merge(other.aggs[i])
+	}
+}
+
+// packMask is one admissible free-attribute subset: the cells a tuple
+// contributes to are base constraints plus any mask from this list.
+type packMask struct {
+	bits uint32  // bit bi set = free attr i constrained
+	idx  []uint8 // positions of the set bits, for the code sum
+}
+
+// packLayout is the per-Config precomputation of the packed build: which
+// attributes vary, and which subsets survive the apex / label-length
+// pruning no matter the tuple. Tuple-dependent pruning (missing attribute
+// values) stays in the scan via the missing-bit mask.
+type packLayout struct {
+	free  []Attr
+	masks []packMask
+}
+
+func newPackLayout(cfg Config) *packLayout {
+	l := &packLayout{free: freeAttrs(cfg)}
+	baseN := 0
+	if cfg.RequireState {
+		baseN++
+	}
+	if cfg.RequireCity {
+		baseN++
+	}
+	for bits := 0; bits < 1<<len(l.free); bits++ {
+		n := baseN + popcount32(uint32(bits))
+		if cfg.SkipApex && n == 0 {
+			continue
+		}
+		if cfg.MaxAVPairs > 0 && n > cfg.MaxAVPairs {
+			continue
+		}
+		m := packMask{bits: uint32(bits)}
+		for bi := 0; bi < len(l.free); bi++ {
+			if bits&(1<<bi) != 0 {
+				m.idx = append(m.idx, uint8(bi))
+			}
+		}
+		l.masks = append(l.masks, m)
+	}
+	return l
+}
+
+func popcount32(x uint32) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}

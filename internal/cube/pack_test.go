@@ -1,0 +1,177 @@
+package cube
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestPackKeyRoundTripExhaustive walks the entire mixed-radix code space —
+// every combination of every attribute's full vocabulary plus Wildcard in
+// every position — and requires PackKey/UnpackKey to be mutually inverse.
+func TestPackKeyRoundTripExhaustive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive code-space walk")
+	}
+	total := uint64(1)
+	for a := 0; a < NumAttrs; a++ {
+		total *= packRadix[a]
+	}
+	for code := uint64(0); code < total; code++ {
+		k := UnpackKey(code)
+		if got := PackKey(k); got != code {
+			t.Fatalf("PackKey(UnpackKey(%d)) = %d", code, got)
+		}
+	}
+	// And the reverse direction on the boundary keys of each attribute.
+	for a := 0; a < NumAttrs; a++ {
+		for _, v := range []int16{Wildcard, 0, int16(Cardinality(Attr(a)) - 1)} {
+			k := KeyAll.With(Attr(a), v)
+			if back := UnpackKey(PackKey(k)); back != k {
+				t.Fatalf("UnpackKey(PackKey(%v)) = %v", k, back)
+			}
+		}
+	}
+}
+
+// TestPackKeyOrderMatchesLessKey pins the property the packed build's sort
+// relies on: ascending code order is exactly lessKey order.
+func TestPackKeyOrderMatchesLessKey(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	randKey := func() Key {
+		var k Key
+		for a := 0; a < NumAttrs; a++ {
+			k[a] = int16(rng.Intn(Cardinality(Attr(a))+1)) - 1 // -1 = Wildcard
+		}
+		return k
+	}
+	for i := 0; i < 20000; i++ {
+		a, b := randKey(), randKey()
+		if lessKey(a, b) != (PackKey(a) < PackKey(b)) {
+			t.Fatalf("order mismatch: %v (code %d) vs %v (code %d)",
+				a, PackKey(a), b, PackKey(b))
+		}
+	}
+}
+
+// wildcardedTuples seeds a tuple set with unresolved states and cities so
+// the packed build's missing-attribute skip paths are exercised.
+func wildcardedTuples(n int, seed int64) []Tuple {
+	rng := rand.New(rand.NewSource(seed))
+	tuples := make([]Tuple, n)
+	for i := range tuples {
+		var t Tuple
+		t.Vals[Gender] = int16(rng.Intn(Cardinality(Gender)))
+		t.Vals[Age] = int16(rng.Intn(Cardinality(Age)))
+		t.Vals[Occupation] = int16(rng.Intn(Cardinality(Occupation)))
+		t.Vals[State] = int16(rng.Intn(6))
+		t.Vals[City] = int16(rng.Intn(12))
+		if i%17 == 0 {
+			t.Vals[State] = Wildcard
+		}
+		if i%11 == 0 {
+			t.Vals[City] = Wildcard
+		}
+		t.Score = int8(1 + rng.Intn(5))
+		t.Unix = int64(978300000 + rng.Intn(1000000))
+		t.UserID = int32(i + 1)
+		t.ItemID = 1
+		tuples[i] = t
+	}
+	return tuples
+}
+
+// TestBuildMatchesReference is the differential test behind the packed
+// build: on seeded datasets — with city mining off, enabled, and required —
+// Build must reproduce BuildReference group-for-group: identical order,
+// keys, aggregates and member lists.
+func TestBuildMatchesReference(t *testing.T) {
+	datasets := map[string][]Tuple{
+		"plain":      randomTuples(3000, 41),
+		"wildcarded": wildcardedTuples(3000, 43),
+		"tiny":       randomTuples(7, 47),
+		"empty":      nil,
+	}
+	configs := []Config{
+		{RequireState: true, MinSupport: 12, MaxAVPairs: 3, SkipApex: true}, // demo default
+		{RequireState: false, MinSupport: 5, MaxAVPairs: 2, SkipApex: true}, // framework mode
+		{RequireState: false, MinSupport: 1},                                // no pruning
+		{RequireState: true, EnableCity: true, MinSupport: 3, MaxAVPairs: 3, SkipApex: true},
+		{RequireCity: true, MinSupport: 3, MaxAVPairs: 4, SkipApex: true}, // drill-down mining
+		{EnableCity: true, MinSupport: 2, MaxAVPairs: 1, SkipApex: false},
+	}
+	for name, tuples := range datasets {
+		for _, cfg := range configs {
+			ref := BuildReference(tuples, cfg)
+			for _, workers := range []int{1, 4} {
+				got := buildWith(tuples, cfg, workers)
+				if got.Len() != ref.Len() {
+					t.Fatalf("%s %+v workers=%d: %d groups, reference %d",
+						name, cfg, workers, got.Len(), ref.Len())
+				}
+				for i := range ref.Groups {
+					if !reflect.DeepEqual(got.Groups[i], ref.Groups[i]) {
+						t.Fatalf("%s %+v workers=%d: group %d differs:\npacked    %+v\nreference %+v",
+							name, cfg, workers, i, got.Groups[i], ref.Groups[i])
+					}
+				}
+				for i := range ref.Groups {
+					if j, ok := got.IndexOf(ref.Groups[i].Key); !ok || j != i {
+						t.Fatalf("%s %+v: key index broken for %v", name, cfg, ref.Groups[i].Key)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPackTableGrowth forces the flat table through several rehashes and
+// checks no cell is lost or double-counted.
+func TestPackTableGrowth(t *testing.T) {
+	tab := newPackTable(16)
+	const n = 50000
+	for i := 0; i < n; i++ {
+		tab.add(uint64(i%9973)*3, int8(1+i%5))
+	}
+	if tab.n != 9973 {
+		t.Fatalf("distinct cells = %d, want 9973", tab.n)
+	}
+	count := 0
+	for i, k := range tab.keys {
+		if k == 0 {
+			continue
+		}
+		count += tab.aggs[i].Count
+	}
+	if count != n {
+		t.Fatalf("total count across slots = %d, want %d", count, n)
+	}
+	if s := tab.slot(3 * 42); s < 0 || tab.keys[s] != 3*42+1 {
+		t.Fatalf("slot lookup broken: %d", s)
+	}
+	if tab.slot(9973*3+1) != -1 {
+		t.Fatal("absent code found")
+	}
+}
+
+// TestMemberArenaIsolation verifies the shared member arena cannot leak
+// writes across groups: every member list has capacity == length, so an
+// append by a consumer reallocates instead of clobbering its neighbour.
+func TestMemberArenaIsolation(t *testing.T) {
+	c := Build(randomTuples(2000, 53), DefaultConfig())
+	if c.Len() < 2 {
+		t.Skip("need at least two groups")
+	}
+	for i := range c.Groups {
+		m := c.Groups[i].Members
+		if cap(m) != len(m) {
+			t.Fatalf("group %d members cap %d != len %d — arena neighbour clobberable", i, cap(m), len(m))
+		}
+	}
+	g0 := c.Groups[0].Members
+	next := c.Groups[1].Members[0]
+	_ = append(g0, -7) // must copy, not write into group 1's range
+	if c.Groups[1].Members[0] != next {
+		t.Fatal("append to one group's members overwrote the next group")
+	}
+}

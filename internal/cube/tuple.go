@@ -11,13 +11,19 @@ import (
 // Tuple is a rating joined with its reviewer's demographic attributes — the
 // unit the mining problems operate on. MapRat constructs the set of tuples
 // R_I for the queried items and then builds cube cells over them.
+//
+// The reviewer's city is carried only as its descriptor value in
+// Vals[City] (render it with CityName; an unresolved city is Wildcard),
+// not as a string: the whole-log tuple slice and every cached plan hold
+// millions of tuples, so a 16-byte string header per tuple would cost
+// ~30% extra resident memory and make the plan cache's tuple-denominated
+// budget dishonest.
 type Tuple struct {
 	Vals   [NumAttrs]int16 // reviewer attribute values (descriptor vocabulary)
 	Score  int8            // rating score in [1,5]
 	Unix   int64           // rating timestamp
 	UserID int32
 	ItemID int32
-	City   string // reviewer city (for the state→city drill-down)
 }
 
 // JoinRating builds a Tuple from a rating and its reviewer. The reviewer's
@@ -30,7 +36,6 @@ func JoinRating(r model.Rating, u *model.User) Tuple {
 		Unix:   r.Unix,
 		UserID: int32(r.UserID),
 		ItemID: int32(r.ItemID),
-		City:   u.City,
 	}
 	t.Vals[Gender] = int16(u.Gender)
 	t.Vals[Age] = int16(u.Age)

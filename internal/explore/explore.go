@@ -67,15 +67,18 @@ func Stats(tuples []cube.Tuple, g *cube.Group, buckets int) GroupStats {
 	}
 
 	var minUnix, maxUnix int64
-	cities := map[string]*cube.Agg{}
+	// Keyed by the descriptor city value (Wildcard = unresolved city,
+	// excluded like the pre-descriptor empty string was); names are
+	// rendered once per city, not per tuple.
+	cities := map[int16]*cube.Agg{}
 	for i, ti := range g.Members {
 		t := &tuples[ti]
 		st.Histogram[t.Score]++
-		if g.Key.Has(cube.State) && t.City != "" {
-			a := cities[t.City]
+		if g.Key.Has(cube.State) && t.Vals[cube.City] != cube.Wildcard {
+			a := cities[t.Vals[cube.City]]
 			if a == nil {
 				a = &cube.Agg{}
-				cities[t.City] = a
+				cities[t.Vals[cube.City]] = a
 			}
 			a.Add(t.Score)
 		}
@@ -90,7 +93,7 @@ func Stats(tuples []cube.Tuple, g *cube.Group, buckets int) GroupStats {
 		}
 	}
 	for city, agg := range cities {
-		st.Cities = append(st.Cities, CityStat{City: city, Agg: *agg})
+		st.Cities = append(st.Cities, CityStat{City: cube.CityName(city), Agg: *agg})
 	}
 	sort.Slice(st.Cities, func(a, b int) bool {
 		if st.Cities[a].Agg.Count != st.Cities[b].Agg.Count {
@@ -139,16 +142,26 @@ func timeline(tuples []cube.Tuple, members []int32, minUnix, maxUnix int64, buck
 
 // Related returns the sibling groups of g present in the cube (identical
 // description except one attribute's value), sorted by support descending —
-// Figure 3's "compare the rating patterns of related groups".
+// Figure 3's "compare the rating patterns of related groups". For groups
+// materialized in the cube it reads the cube's memoized sibling table
+// (built once per cube, amortized across a plan's explorations) instead
+// of scanning every group pairwise.
 func Related(c *cube.Cube, g *cube.Group) []*cube.Group {
 	var out []*cube.Group
-	for i := range c.Groups {
-		other := &c.Groups[i]
-		if other.Key == g.Key {
-			continue
+	if gi, ok := c.IndexOf(g.Key); ok {
+		for _, j := range c.Siblings()[gi] {
+			out = append(out, &c.Groups[j])
 		}
-		if _, ok := g.Key.SiblingOf(other.Key); ok {
-			out = append(out, other)
+	} else {
+		// A group from outside this cube: fall back to the pairwise scan.
+		for i := range c.Groups {
+			other := &c.Groups[i]
+			if other.Key == g.Key {
+				continue
+			}
+			if _, ok := g.Key.SiblingOf(other.Key); ok {
+				out = append(out, other)
+			}
 		}
 	}
 	sort.Slice(out, func(a, b int) bool {

@@ -21,9 +21,9 @@ func fixtureTuples() []cube.Tuple {
 		t.Vals[cube.Age] = 2
 		t.Vals[cube.Occupation] = 12
 		t.Vals[cube.State] = state
+		t.Vals[cube.City] = cube.CityIndex(city)
 		t.Score = score
 		t.Unix = at
-		t.City = city
 		return t
 	}
 	return []cube.Tuple{
@@ -137,9 +137,9 @@ func TestStatsPreEpochTimeline(t *testing.T) {
 	mk := func(score int8, at int64) cube.Tuple {
 		var t cube.Tuple
 		t.Vals[cube.State] = ca
+		t.Vals[cube.City] = cube.CityIndex("Los Angeles")
 		t.Score = score
 		t.Unix = at
-		t.City = "Los Angeles"
 		return t
 	}
 	tuples := []cube.Tuple{
@@ -226,8 +226,8 @@ func TestRelatedSortedBySupport(t *testing.T) {
 	tuples := fixtureTuples()
 	var tx cube.Tuple
 	tx.Vals[cube.State] = cube.StateIndex("TX")
+	tx.Vals[cube.City] = cube.CityIndex("Houston")
 	tx.Score = 3
-	tx.City = "Houston"
 	tuples = append(tuples, tx)
 	c := cube.Build(tuples, cube.Config{RequireState: true, MinSupport: 1, MaxAVPairs: 1})
 	g, _ := c.Group(cube.KeyAll.With(cube.State, cube.StateIndex("CA")))

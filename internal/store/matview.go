@@ -18,7 +18,10 @@ import (
 //
 // Plans are shared across concurrent requests and MUST be treated as
 // immutable by every consumer: the solver keeps its scratch per Problem,
-// and the exploration layer only reads tuples and member lists.
+// and the exploration layer only reads tuples and member lists. The one
+// sanctioned exception is the cube's own lazily built, internally
+// synchronized caches (coverage bitsets, sibling table), which populate
+// once under sync.Once on first use and are immutable afterwards.
 type Plan struct {
 	ItemIDs []int
 	Tuples  []cube.Tuple
@@ -75,7 +78,6 @@ type PlanCache struct {
 	ll        *list.List // front = most recently used
 	items     map[string]*list.Element
 	tuples    int
-	bytes     int64
 
 	hits, misses, shared, builds, evictions uint64
 
@@ -173,14 +175,12 @@ func (pc *PlanCache) put(key string, p *Plan) {
 	if el, ok := pc.items[key]; ok {
 		e := el.Value.(*planEntry)
 		pc.tuples -= e.plan.Cost()
-		pc.bytes -= e.plan.SizeBytes()
 		e.plan = p
 		pc.ll.MoveToFront(el)
 	} else {
 		pc.items[key] = pc.ll.PushFront(&planEntry{key: key, plan: p})
 	}
 	pc.tuples += cost
-	pc.bytes += p.SizeBytes()
 	for pc.tuples > pc.maxTuples {
 		oldest := pc.ll.Back()
 		if oldest == nil {
@@ -190,7 +190,6 @@ func (pc *PlanCache) put(key string, p *Plan) {
 		pc.ll.Remove(oldest)
 		delete(pc.items, e.key)
 		pc.tuples -= e.plan.Cost()
-		pc.bytes -= e.plan.SizeBytes()
 		pc.evictions++
 	}
 }
@@ -203,9 +202,17 @@ func (pc *PlanCache) Len() int {
 }
 
 // Stats returns a snapshot of the tier's counters and current usage.
+// Bytes is recomputed from the live entries rather than carried from
+// insert time: a cached plan's cube grows lazily built structures after
+// caching (the solver's coverage bitsets, the sibling table), and the
+// snapshot should account for them.
 func (pc *PlanCache) Stats() PlanStats {
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
+	var bytes int64
+	for el := pc.ll.Front(); el != nil; el = el.Next() {
+		bytes += el.Value.(*planEntry).plan.SizeBytes()
+	}
 	return PlanStats{
 		Hits:      pc.hits,
 		Misses:    pc.misses,
@@ -215,7 +222,7 @@ func (pc *PlanCache) Stats() PlanStats {
 		Entries:   pc.ll.Len(),
 		Tuples:    pc.tuples,
 		MaxTuples: pc.maxTuples,
-		Bytes:     pc.bytes,
+		Bytes:     bytes,
 	}
 }
 
@@ -225,6 +232,6 @@ func (pc *PlanCache) Reset() {
 	defer pc.mu.Unlock()
 	pc.ll.Init()
 	pc.items = make(map[string]*list.Element)
-	pc.tuples, pc.bytes = 0, 0
+	pc.tuples = 0
 	pc.hits, pc.misses, pc.shared, pc.builds, pc.evictions = 0, 0, 0, 0, 0
 }

@@ -422,12 +422,26 @@ func (s *Store) RatingCount(itemID int) int { return len(s.itemTuples[itemID]) }
 
 // TuplesForItems gathers R_I: every rating tuple of the given items inside
 // the window. The result is a fresh slice; mutation is safe.
+//
+// The window sub-ranges are resolved in a first pass so the result is
+// allocated exactly once — a whole-genre query gathers hundreds of
+// thousands of tuples, and growing by append would copy the slice ~20
+// times on the cold path.
 func (s *Store) TuplesForItems(itemIDs []int, w TimeWindow) []cube.Tuple {
-	var out []cube.Tuple
-	for _, id := range itemIDs {
+	bounds := make([][2]int, len(itemIDs))
+	total := 0
+	for i, id := range itemIDs {
+		lo, hi := windowBounds(s.tuples, s.itemTuples[id], w)
+		bounds[i] = [2]int{lo, hi}
+		total += hi - lo
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]cube.Tuple, 0, total)
+	for i, id := range itemIDs {
 		idxs := s.itemTuples[id]
-		lo, hi := windowBounds(s.tuples, idxs, w)
-		for _, ti := range idxs[lo:hi] {
+		for _, ti := range idxs[bounds[i][0]:bounds[i][1]] {
 			out = append(out, s.tuples[ti])
 		}
 	}

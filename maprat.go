@@ -101,7 +101,10 @@ func DefaultOptions() Options {
 // Engine is an opened MapRat instance over one dataset. An Engine is safe
 // for concurrent use: the store is read-only after Open, the result cache
 // and the singleflight layer are internally synchronized, and each mining
-// request builds its own cube and problem instances.
+// request solves on its own problem instance. Cubes shared through the
+// plan tier populate their derived caches (coverage bitsets, sibling
+// table) lazily under sync.Once, so concurrent first use is safe and
+// every later solve or exploration on the same plan gets them for free.
 type Engine struct {
 	st      *store.Store
 	cubeCfg cube.Config
@@ -158,7 +161,9 @@ type ExplainRequest struct {
 	CubeConfig *cube.Config
 	// DisableCache bypasses the store's result cache AND the plan
 	// materialization tier: the full resolve → gather → cube → mine
-	// pipeline runs from scratch (the cold path benchmarks measure).
+	// pipeline runs from scratch, paying the packed cube build and a
+	// fresh coverage-bitset build (BenchmarkColdExplain measures this
+	// path).
 	DisableCache bool
 	// DisableRelax fails immediately on an unsatisfiable coverage
 	// constraint instead of relaxing α stepwise (the web demo relaxes so
@@ -382,7 +387,7 @@ func (e *Engine) buildPlan(q Query, base cube.Config) (*store.Plan, error) {
 	p := &store.Plan{
 		ItemIDs: ids,
 		Tuples:  tuples,
-		Cube:    cube.Build(tuples, adaptCubeConfig(base, len(tuples))),
+		Cube:    cube.Build(tuples, AdaptCubeConfig(base, len(tuples))),
 	}
 	for i := range tuples {
 		p.Overall.Add(tuples[i].Score)
@@ -422,9 +427,12 @@ func (e *Engine) PlanStats() store.PlanStats {
 // monitoring hook for observing cache and singleflight effectiveness.
 func (e *Engine) MineCount() uint64 { return e.mines.Load() }
 
-// adaptCubeConfig scales MinSupport down for small tuple sets so sparse
-// queries still produce candidates.
-func adaptCubeConfig(cfg cube.Config, numTuples int) cube.Config {
+// AdaptCubeConfig scales a cube config's MinSupport down for small tuple
+// sets so sparse queries still produce candidates — the adaptation every
+// mining pipeline applies between gathering R_I and building its cube.
+// Exported so benchmarks and experiments constructing cubes outside
+// Explain build exactly the configuration the engine would.
+func AdaptCubeConfig(cfg cube.Config, numTuples int) cube.Config {
 	if adaptive := numTuples / 50; adaptive < cfg.MinSupport {
 		cfg.MinSupport = adaptive
 		if cfg.MinSupport < 3 {
