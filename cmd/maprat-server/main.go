@@ -24,11 +24,13 @@ func main() {
 	log.SetPrefix("maprat-server: ")
 
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		dataDir = flag.String("data", "", "MovieLens-format data directory (default: synthetic)")
-		scale   = flag.String("scale", "small", "synthetic data scale when -data is unset: small|full")
-		seed    = flag.Int64("seed", 1, "generator seed")
-		timeout = flag.Duration("timeout", server.DefaultRequestTimeout, "per-request mining timeout")
+		addr      = flag.String("addr", ":8080", "listen address")
+		dataDir   = flag.String("data", "", "MovieLens-format data directory (default: synthetic)")
+		scale     = flag.String("scale", "small", "synthetic data scale when -data is unset: small|full")
+		seed      = flag.Int64("seed", 1, "generator seed")
+		timeout   = flag.Duration("timeout", server.DefaultRequestTimeout, "per-request mining timeout")
+		maxBatch  = flag.Int("max-batch", 0, "max requests per /api/v1/batch call (0 = default)")
+		accessLog = flag.Bool("access-log", true, "log /api/v1 requests")
 	)
 	flag.Parse()
 
@@ -69,7 +71,11 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 	context.AfterFunc(ctx, stop)
-	srv := server.NewWithConfig(eng, server.Config{RequestTimeout: *timeout})
+	cfg := server.Config{RequestTimeout: *timeout, MaxBatch: *maxBatch}
+	if *accessLog {
+		cfg.AccessLog = log.Default()
+	}
+	srv := server.NewWithConfig(eng, cfg)
 	if err := srv.ListenAndServe(ctx, *addr); err != nil {
 		log.Fatal(err)
 	}

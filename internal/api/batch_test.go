@@ -1,0 +1,160 @@
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func decodeBatch(t *testing.T, body string) BatchResponse {
+	t.Helper()
+	var resp BatchResponse
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatalf("batch json: %v\n%s", err, body)
+	}
+	return resp
+}
+
+// TestV1BatchMatchesIndividual pins fan-out determinism: a batch's
+// elements are index-aligned with the request list and byte-identical
+// (scrubbed) to the same requests issued individually.
+func TestV1BatchMatchesIndividual(t *testing.T) {
+	reqs := []string{
+		`{"q":"movie:\"Toy Story\"","k":2}`,
+		`{"q":"actor:\"Tom Hanks\"","k":3,"seed":11}`,
+		`{"q":"genre:Thriller","k":2,"tasks":["sm"]}`,
+	}
+	code, body := post(t, "/api/v1/batch", `{"requests":[`+reqs[0]+","+reqs[1]+","+reqs[2]+`]}`)
+	if code != 200 {
+		t.Fatalf("batch status %d: %s", code, body)
+	}
+	resp := decodeBatch(t, body)
+	if len(resp.Results) != len(reqs) {
+		t.Fatalf("results = %d, want %d", len(resp.Results), len(reqs))
+	}
+	for i, r := range reqs {
+		if resp.Results[i].Explain == nil {
+			t.Fatalf("result %d failed: %+v", i, resp.Results[i].Error)
+		}
+		icode, ibody := post(t, "/api/v1/explain", r)
+		if icode != 200 {
+			t.Fatalf("individual %d status %d", i, icode)
+		}
+		batchJSON, err := json.Marshal(resp.Results[i].Explain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(scrub(t, string(batchJSON))) != string(scrub(t, ibody)) {
+			t.Errorf("result %d diverges from the individual explain", i)
+		}
+	}
+
+	// A second identical batch returns the identical payload.
+	code2, body2 := post(t, "/api/v1/batch", `{"requests":[`+reqs[0]+","+reqs[1]+","+reqs[2]+`]}`)
+	if code2 != 200 {
+		t.Fatalf("second batch status %d", code2)
+	}
+	if string(scrub(t, body)) != string(scrub(t, body2)) {
+		t.Error("two identical batches produced different payloads")
+	}
+}
+
+// TestV1BatchPartialFailure pins the partial-failure semantics: each
+// element succeeds or fails independently, the batch itself is a 200,
+// and every failed element carries its machine-readable code.
+func TestV1BatchPartialFailure(t *testing.T) {
+	code, body := post(t, "/api/v1/batch", `{"requests":[
+		{"q":"movie:\"Toy Story\"","k":2},
+		{"q":"movie:\"Zyzzyva The Unfilmed\""},
+		{"q":"notafield:x"},
+		{"q":"movie:\"Toy Story\"","k":99}
+	]}`)
+	if code != 200 {
+		t.Fatalf("batch status %d: %s", code, body)
+	}
+	resp := decodeBatch(t, body)
+	if len(resp.Results) != 4 {
+		t.Fatalf("results = %d", len(resp.Results))
+	}
+	if resp.Results[0].Explain == nil || resp.Results[0].Error != nil {
+		t.Errorf("element 0 should have succeeded: %+v", resp.Results[0])
+	}
+	wantCodes := []ErrorCode{CodeNoItems, CodeBadRequest, CodeBadRequest}
+	for i, want := range wantCodes {
+		r := resp.Results[i+1]
+		if r.Explain != nil || r.Error == nil {
+			t.Fatalf("element %d should have failed: %+v", i+1, r)
+		}
+		if r.Error.Code != want {
+			t.Errorf("element %d code %q, want %q", i+1, r.Error.Code, want)
+		}
+	}
+}
+
+// TestV1BatchLimits pins the request-count cap and the method guard.
+func TestV1BatchLimits(t *testing.T) {
+	reqs := ""
+	for i := 0; i <= DefaultMaxBatch; i++ {
+		if i > 0 {
+			reqs += ","
+		}
+		reqs += fmt.Sprintf(`{"q":"genre:Drama","seed":%d}`, i)
+	}
+	code, body := post(t, "/api/v1/batch", `{"requests":[`+reqs+`]}`)
+	if code != 400 || envelopeCode(t, body) != CodeBadRequest {
+		t.Errorf("oversized batch: %d %s", code, body)
+	}
+	code, body = post(t, "/api/v1/batch", `{"requests":[]}`)
+	if code != 400 || envelopeCode(t, body) != CodeBadRequest {
+		t.Errorf("empty batch: %d %s", code, body)
+	}
+	code, body = post(t, "/api/v1/batch", `{"requests":`)
+	if code != 400 || envelopeCode(t, body) != CodeBadRequest {
+		t.Errorf("truncated body: %d %s", code, body)
+	}
+	code, body = get(t, "/api/v1/batch")
+	if code != 405 || envelopeCode(t, body) != CodeMethodNotAllowed {
+		t.Errorf("batch via GET: %d %s", code, body)
+	}
+}
+
+// TestV1BatchSingleflight pins the acceptance criterion that makes
+// batching cheap: M identical explains in one batch — and concurrent
+// identical batches on top — share exactly one mining run through the
+// engine's singleflight + result cache tiers. Run under -race this also
+// exercises the fan-out's synchronization.
+func TestV1BatchSingleflight(t *testing.T) {
+	eng := testEngine(t)
+	// A knob set no other test uses, so the result cache is cold.
+	el := `{"q":"movie:\"Heat\"","k":2,"seed":31337}`
+	batch := `{"requests":[` + el + "," + el + "," + el + "," + el + "," + el + "," + el + `]}`
+
+	before := eng.MineCount()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			code, body := post(t, "/api/v1/batch", batch)
+			if code != 200 {
+				t.Errorf("batch status %d: %s", code, body)
+				return
+			}
+			resp := decodeBatch(t, body)
+			if len(resp.Results) != 6 {
+				t.Errorf("results = %d", len(resp.Results))
+				return
+			}
+			for i, r := range resp.Results {
+				if r.Explain == nil {
+					t.Errorf("element %d failed: %+v", i, r.Error)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if mines := eng.MineCount() - before; mines != 1 {
+		t.Errorf("24 identical explains across 4 concurrent batches mined %d times, want exactly 1", mines)
+	}
+}

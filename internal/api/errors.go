@@ -1,0 +1,130 @@
+package api
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"repro"
+)
+
+// ErrorCode is the machine-readable failure classification every v1 error
+// response carries. Clients dispatch on the code; the message is for
+// humans and carries no contract.
+type ErrorCode string
+
+// The complete v1 error vocabulary. The mining codes are derived from
+// the engine's sentinel errors (ErrNoItems, ErrNoRatings, ErrNoGroup)
+// and the request lifecycle (context deadline / cancellation); anything
+// else out of a pipeline is an internal mining failure. The two routing
+// codes cover requests that never reached a pipeline, so a client can
+// tell "fix your parameters" from "this endpoint/method does not exist".
+const (
+	CodeBadRequest ErrorCode = "bad_request"
+	CodeNoItems    ErrorCode = "no_items"
+	CodeNoRatings  ErrorCode = "no_ratings"
+	CodeNoGroup    ErrorCode = "no_group"
+	CodeTimeout    ErrorCode = "timeout"
+	CodeCanceled   ErrorCode = "canceled"
+	CodeInternal   ErrorCode = "internal"
+	// Routing failures.
+	CodeNotFound         ErrorCode = "not_found"
+	CodeMethodNotAllowed ErrorCode = "method_not_allowed"
+)
+
+// ErrorBody is the inner error object.
+type ErrorBody struct {
+	Code    ErrorCode `json:"code"`
+	Message string    `json:"message"`
+}
+
+// ErrorEnvelope is the single structured error shape every v1 endpoint
+// answers failures with: {"error": {"code": ..., "message": ...}}.
+type ErrorEnvelope struct {
+	Error ErrorBody `json:"error"`
+}
+
+// CodeForError classifies a pipeline failure. Decode failures are the
+// caller's to classify as CodeBadRequest before the pipeline runs.
+func CodeForError(err error) ErrorCode {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return CodeTimeout
+	case errors.Is(err, context.Canceled):
+		return CodeCanceled
+	case errors.Is(err, maprat.ErrNoItems):
+		return CodeNoItems
+	case errors.Is(err, maprat.ErrNoRatings):
+		return CodeNoRatings
+	case errors.Is(err, maprat.ErrNoGroup):
+		return CodeNoGroup
+	default:
+		return CodeInternal
+	}
+}
+
+// HTTPStatus maps a code to its response status. 499 is the nginx-style
+// "client closed request" status the HTML front-end already uses.
+func (c ErrorCode) HTTPStatus() int {
+	switch c {
+	case CodeBadRequest:
+		return http.StatusBadRequest
+	case CodeNoItems, CodeNoRatings, CodeNoGroup, CodeNotFound:
+		return http.StatusNotFound
+	case CodeMethodNotAllowed:
+		return http.StatusMethodNotAllowed
+	case CodeTimeout:
+		return http.StatusGatewayTimeout
+	case CodeCanceled:
+		return 499
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// StatusForError is the one error→status mapping shared by the v1 surface
+// and the HTML front-end: timeouts are the gateway's fault (504),
+// disconnects get 499, and only the errors meaning "the client asked for
+// something that doesn't exist" are 404s. Everything else is an internal
+// mining failure and surfaces as a 500, never blamed on the client.
+func StatusForError(err error) int { return CodeForError(err).HTTPStatus() }
+
+// writeEnvelope writes a v1 error response. The envelope is tiny, so the
+// encode cannot meaningfully fail after the header is out.
+func writeEnvelope(w http.ResponseWriter, code ErrorCode, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code.HTTPStatus())
+	_ = json.NewEncoder(w).Encode(ErrorEnvelope{Error: ErrorBody{Code: code, Message: msg}})
+}
+
+// writeError classifies err and writes its envelope.
+func writeError(w http.ResponseWriter, err error) {
+	writeEnvelope(w, CodeForError(err), err.Error())
+}
+
+// writeEnvelopeStatus writes the envelope with an explicit status for
+// the rare failure whose status is not the code's default (413 for an
+// oversized body).
+func writeEnvelopeStatus(w http.ResponseWriter, status int, code ErrorCode, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(ErrorEnvelope{Error: ErrorBody{Code: code, Message: msg}})
+}
+
+// notFound answers 404 for a path that does not exist under /api/v1/.
+func notFound(w http.ResponseWriter, msg string) {
+	writeEnvelope(w, CodeNotFound, msg)
+}
+
+// methodNotAllowed answers 405 with the Allow header.
+func methodNotAllowed(w http.ResponseWriter, allow, msg string) {
+	w.Header().Set("Allow", allow)
+	writeEnvelope(w, CodeMethodNotAllowed, msg)
+}
+
+// errorBodyFor builds the inner error object for embedding in composite
+// payloads (evolution points, batch results).
+func errorBodyFor(err error) *ErrorBody {
+	return &ErrorBody{Code: CodeForError(err), Message: err.Error()}
+}

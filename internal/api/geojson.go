@@ -1,0 +1,135 @@
+package api
+
+import (
+	"repro"
+	"repro/internal/geo"
+	"repro/internal/viz"
+)
+
+// GeoJSON is a FeatureCollection-shaped choropleth layer: one Polygon
+// feature per shaded state, positioned on the same tile-grid cartogram
+// the SVG renderer uses but projected into pseudo lon/lat so standard
+// web-mapping clients (Leaflet, MapLibre, d3-geo) can render it without
+// a separate basemap. Fill colours are precomputed server-side on the
+// paper's red→green Likert scale so the client needs no scale logic.
+type GeoJSON struct {
+	Type     string    `json:"type"` // always "FeatureCollection"
+	Features []Feature `json:"features"`
+}
+
+// Feature is one GeoJSON feature.
+type Feature struct {
+	Type       string          `json:"type"` // always "Feature"
+	Geometry   Geometry        `json:"geometry"`
+	Properties ShadeProperties `json:"properties"`
+}
+
+// Geometry is the feature's Polygon: a single counter-clockwise ring.
+type Geometry struct {
+	Type        string         `json:"type"` // always "Polygon"
+	Coordinates [][][2]float64 `json:"coordinates"`
+}
+
+// ShadeProperties carries everything a client-side choropleth needs to
+// shade and caption one state tile.
+type ShadeProperties struct {
+	State string `json:"state"`
+	Name  string `json:"name"`
+	// Mean drives the fill; Fill is the precomputed #rrggbb Likert
+	// colour for clients that do not want to own the scale.
+	Mean  float64 `json:"mean"`
+	Count int     `json:"count"`
+	Fill  string  `json:"fill"`
+	// Label and Icons caption the dominant group on this tile ("" for
+	// browse mode's whole-population shades).
+	Label string `json:"label,omitempty"`
+	Icons string `json:"icons,omitempty"`
+}
+
+// The cartogram projection: tile (row, col) → a pseudo lon/lat cell.
+// Column 0 starts at the west edge, row 0 at the north edge; cell sizes
+// keep the whole grid inside plausible US bounds.
+const (
+	geoWestLon  = -125.0
+	geoNorthLat = 50.0
+	geoCellLon  = 5.0
+	geoCellLat  = 4.0
+)
+
+// tilePolygon builds the counter-clockwise ring for a state's tile.
+func tilePolygon(row, col int) [][][2]float64 {
+	w := geoWestLon + float64(col)*geoCellLon
+	e := w + geoCellLon
+	n := geoNorthLat - float64(row)*geoCellLat
+	s := n - geoCellLat
+	return [][][2]float64{{{w, s}, {e, s}, {e, n}, {w, n}, {w, s}}}
+}
+
+func stateFeature(code string, props ShadeProperties) (Feature, bool) {
+	st := geo.StateByCode(code)
+	if st == nil {
+		return Feature{}, false
+	}
+	props.State = code
+	props.Name = st.Name
+	return Feature{
+		Type:       "Feature",
+		Geometry:   Geometry{Type: "Polygon", Coordinates: tilePolygon(st.Row, st.Col)},
+		Properties: props,
+	}, true
+}
+
+// groupsGeoJSON builds the per-task choropleth layer. When several
+// groups share a state, the one with the most ratings wins the tile
+// (matching the SVG renderer's dominant-shade rule). Returns nil when no
+// group carries a geo-condition (framework mode), so the field is
+// omitted rather than an empty collection.
+func groupsGeoJSON(groups []Group) *GeoJSON {
+	dominant := map[string]Group{}
+	order := []string{}
+	for _, g := range groups {
+		if g.State == "" {
+			continue
+		}
+		if cur, ok := dominant[g.State]; !ok {
+			dominant[g.State] = g
+			order = append(order, g.State)
+		} else if g.Count > cur.Count {
+			dominant[g.State] = g
+		}
+	}
+	if len(order) == 0 {
+		return nil
+	}
+	gj := &GeoJSON{Type: "FeatureCollection"}
+	for _, code := range order {
+		g := dominant[code]
+		f, ok := stateFeature(code, ShadeProperties{
+			Mean:  g.Mean,
+			Count: g.Count,
+			Fill:  viz.Hex(g.Mean),
+			Label: g.Phrase,
+			Icons: g.Icons,
+		})
+		if ok {
+			gj.Features = append(gj.Features, f)
+		}
+	}
+	return gj
+}
+
+// browseGeoJSON builds the whole-log browse choropleth layer.
+func browseGeoJSON(states []maprat.StateOverview) *GeoJSON {
+	gj := &GeoJSON{Type: "FeatureCollection"}
+	for _, st := range states {
+		f, ok := stateFeature(st.State, ShadeProperties{
+			Mean:  st.Agg.Mean(),
+			Count: st.Agg.Count,
+			Fill:  viz.Hex(st.Agg.Mean()),
+		})
+		if ok {
+			gj.Features = append(gj.Features, f)
+		}
+	}
+	return gj
+}

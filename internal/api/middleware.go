@@ -1,0 +1,140 @@
+package api
+
+import (
+	"fmt"
+	"log"
+	"net/http"
+	"runtime/debug"
+	"sync/atomic"
+	"time"
+)
+
+// endpointMetrics accumulates one endpoint's counters. All fields are
+// atomics: the handlers never take a lock on the request path.
+type endpointMetrics struct {
+	requests    atomic.Uint64
+	errors      atomic.Uint64    // responses with status >= 400
+	byClass     [6]atomic.Uint64 // [1..5] = 1xx..5xx
+	totalMicros atomic.Int64
+}
+
+// EndpointSnapshot is the /statsz view of one endpoint's counters.
+type EndpointSnapshot struct {
+	Requests uint64 `json:"requests"`
+	// Errors counts responses with a 4xx/5xx status (499 included).
+	Errors uint64 `json:"errors"`
+	// AvgMS is the mean wall-clock latency across all requests.
+	AvgMS float64 `json:"avg_ms"`
+	// Status buckets responses by class, e.g. {"2xx": 41, "5xx": 1}.
+	Status map[string]uint64 `json:"status,omitempty"`
+}
+
+func (m *endpointMetrics) snapshot() EndpointSnapshot {
+	s := EndpointSnapshot{
+		Requests: m.requests.Load(),
+		Errors:   m.errors.Load(),
+	}
+	if s.Requests > 0 {
+		s.AvgMS = float64(m.totalMicros.Load()) / 1000 / float64(s.Requests)
+	}
+	for class := 1; class <= 5; class++ {
+		if n := m.byClass[class].Load(); n > 0 {
+			if s.Status == nil {
+				s.Status = map[string]uint64{}
+			}
+			s.Status[fmt.Sprintf("%dxx", class)] = n
+		}
+	}
+	return s
+}
+
+// MetricsSnapshot returns the per-endpoint latency/status counters, keyed
+// by endpoint name — the payload the server surfaces under /statsz.
+func (h *Handler) MetricsSnapshot() map[string]EndpointSnapshot {
+	out := make(map[string]EndpointSnapshot, len(h.metrics))
+	for name, m := range h.metrics {
+		out[name] = m.snapshot()
+	}
+	return out
+}
+
+// statusRecorder captures the response status so the middleware can count
+// it and the panic handler can tell whether headers already went out.
+type statusRecorder struct {
+	http.ResponseWriter
+	status  int
+	written bool
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if !r.written {
+		r.status = code
+		r.written = true
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if !r.written {
+		r.status = http.StatusOK
+		r.written = true
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+// wrap applies the v1 middleware stack to one endpoint: request ID,
+// panic recovery, access log, and per-endpoint latency/status counters.
+func (h *Handler) wrap(name string, fn http.HandlerFunc) http.Handler {
+	m := &endpointMetrics{}
+	h.metrics[name] = m
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = fmt.Sprintf("v1-%06d", h.reqID.Add(1))
+		}
+		w.Header().Set("X-Request-ID", id)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		defer func() {
+			if p := recover(); p != nil {
+				if p == http.ErrAbortHandler {
+					// The stdlib's deliberate silent-abort mechanism:
+					// re-panic so net/http suppresses it as intended.
+					panic(p)
+				}
+				h.errorf("%s %s id=%s panic: %v\n%s", r.Method, r.URL.Path, id, p, debug.Stack())
+				if !rec.written {
+					writeEnvelope(rec, CodeInternal, "internal error")
+				}
+			}
+			elapsed := time.Since(start)
+			m.requests.Add(1)
+			m.totalMicros.Add(elapsed.Microseconds())
+			if class := rec.status / 100; class >= 1 && class <= 5 {
+				m.byClass[class].Add(1)
+				if class >= 4 {
+					m.errors.Add(1)
+				}
+			}
+			h.logf("%s %s id=%s status=%d elapsed=%s", r.Method, r.URL.Path, id, rec.status, elapsed.Round(time.Microsecond))
+		}()
+		fn(rec, r)
+	})
+}
+
+func (h *Handler) logf(format string, args ...any) {
+	if h.cfg.Logger != nil {
+		h.cfg.Logger.Printf(format, args...)
+	}
+}
+
+// errorf reports a crash. Unlike the access log it is never silent: with
+// no ErrorLog configured it falls back to the process logger, so turning
+// the access log off cannot hide recurring panics.
+func (h *Handler) errorf(format string, args ...any) {
+	l := h.cfg.ErrorLog
+	if l == nil {
+		l = log.Default()
+	}
+	l.Printf(format, args...)
+}

@@ -1,24 +1,24 @@
 // Package server is MapRat's web front-end (§3, Figures 1–3): a search
 // form over item attributes with mining settings and a time restriction,
 // tabbed SM/DM choropleth result pages, a per-group exploration page with
-// statistics and the city drill-down, a time-slider page, and a JSON API.
-// It is a stdlib net/http application; the choropleths are the inline SVG
-// documents produced by internal/viz.
+// statistics and the city drill-down, a time-slider page, and the
+// versioned JSON API mounted from internal/api. It is a stdlib net/http
+// application; the choropleths are the inline SVG documents produced by
+// internal/viz.
 package server
 
 import (
 	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"html/template"
+	"log"
 	"net"
 	"net/http"
-	"strconv"
 	"time"
 
 	"repro"
-	"repro/internal/cube"
+	"repro/internal/api"
 	"repro/internal/store"
 	"repro/internal/viz"
 )
@@ -32,6 +32,11 @@ type Config struct {
 	// ShutdownGrace bounds how long ListenAndServe waits for in-flight
 	// requests after its context ends. Zero means DefaultShutdownGrace.
 	ShutdownGrace time.Duration
+	// MaxBatch caps /api/v1/batch (zero means api.DefaultMaxBatch).
+	MaxBatch int
+	// AccessLog receives the v1 surface's access log; nil disables it.
+	// Panic reports go to the process logger regardless.
+	AccessLog *log.Logger
 }
 
 // The lifecycle defaults: generous for full-scale mining, finite so a
@@ -48,6 +53,7 @@ type Server struct {
 	eng *maprat.Engine
 	mux *http.ServeMux
 	cfg Config
+	api *api.Handler
 }
 
 // New builds a server over an opened engine with default lifecycle
@@ -63,11 +69,19 @@ func NewWithConfig(eng *maprat.Engine, cfg Config) *Server {
 		cfg.ShutdownGrace = DefaultShutdownGrace
 	}
 	s := &Server{eng: eng, mux: http.NewServeMux(), cfg: cfg}
+	s.api = api.New(eng, api.Config{
+		RequestTimeout: cfg.RequestTimeout,
+		MaxBatch:       cfg.MaxBatch,
+		Logger:         cfg.AccessLog,
+	})
 	s.mux.HandleFunc("/", s.handleIndex)
 	s.mux.HandleFunc("/explain", s.handleExplain)
 	s.mux.HandleFunc("/group", s.handleGroup)
 	s.mux.HandleFunc("/evolution", s.handleEvolution)
 	s.mux.HandleFunc("/browse", s.handleBrowse)
+	s.mux.Handle("/api/v1/", s.api)
+	// /api/explain predates the versioned surface; it keeps its original
+	// JSON shape as a deprecated alias for one release.
 	s.mux.HandleFunc("/api/explain", s.handleAPIExplain)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/statsz", s.handleStats)
@@ -120,34 +134,25 @@ func (s *Server) requestContext(r *http.Request) (context.Context, context.Cance
 	return context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 }
 
-// statusForError maps a mining failure to an HTTP status: timeouts are
-// the gateway's fault (504), disconnects get the nginx-style 499, and
-// only the errors meaning "the client asked for something that doesn't
-// exist" — no items, no ratings in the window, no such group — are 404s.
-// Everything else is an internal mining failure and must surface as a
-// 500, not be blamed on the client.
-func statusForError(err error) int {
-	switch {
-	case errors.Is(err, context.DeadlineExceeded):
-		return http.StatusGatewayTimeout
-	case errors.Is(err, context.Canceled):
-		return 499 // client closed request
-	case errors.Is(err, maprat.ErrNoItems),
-		errors.Is(err, maprat.ErrNoRatings),
-		errors.Is(err, maprat.ErrNoGroup):
-		return http.StatusNotFound
-	default:
-		return http.StatusInternalServerError
-	}
-}
+// statusForError maps a mining failure to an HTTP status. The mapping is
+// owned by internal/api so the HTML pages and the v1 surface cannot
+// drift: timeouts are the gateway's fault (504), disconnects get the
+// nginx-style 499, and only the errors meaning "the client asked for
+// something that doesn't exist" — no items, no ratings in the window, no
+// such group — are 404s. Everything else is an internal mining failure
+// and must surface as a 500, not be blamed on the client.
+func statusForError(err error) int { return api.StatusForError(err) }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
-// handleStats exposes the engine's caching tiers as JSON for monitoring:
-// the plan materialization tier (hit/miss/builds/tuple budget/bytes), the
-// result LRU, the explain singleflight, and the mining-run counter.
+// handleStats exposes the engine's caching tiers and the v1 surface's
+// per-endpoint counters as JSON for monitoring: the plan materialization
+// tier (hit/miss/builds/tuple budget/bytes), the result LRU, the explain
+// singleflight, the mining-run counter, and per-endpoint latency/status
+// metrics. The payload is encoded into a buffer before any header is
+// written, so an encode failure still produces a clean 500.
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	resp := struct {
 		PlanCache store.PlanStats `json:"plan_cache"`
@@ -156,19 +161,18 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			Misses  uint64 `json:"misses"`
 			Entries int    `json:"entries"`
 		} `json:"result_cache"`
-		Mines uint64 `json:"mines"`
+		Mines uint64                          `json:"mines"`
+		API   map[string]api.EndpointSnapshot `json:"api"`
 	}{
 		PlanCache: s.eng.PlanStats(),
 		Mines:     s.eng.MineCount(),
+		API:       s.api.MetricsSnapshot(),
 	}
 	if c := s.eng.Store().Cache(); c != nil {
 		resp.Result.Hits, resp.Result.Misses = c.Stats()
 		resp.Result.Entries = c.Len()
 	}
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(resp); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-	}
+	api.WriteJSON(w, resp)
 }
 
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
@@ -187,73 +191,35 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// parseRequest reads the Figure-1 form fields shared by all result pages.
-func (s *Server) parseRequest(r *http.Request) (maprat.ExplainRequest, error) {
-	qs := r.URL.Query().Get("q")
-	if qs == "" {
-		return maprat.ExplainRequest{}, fmt.Errorf("missing q parameter")
-	}
-	q, err := s.eng.ParseQuery(qs)
+// parseRequest reads the Figure-1 form fields shared by all result pages
+// through the same decoder the v1 surface uses, so the two front-ends
+// accept exactly the same knob set.
+func (s *Server) parseRequest(r *http.Request) (api.Params, maprat.ExplainRequest, error) {
+	p, err := api.DecodeParams(r)
 	if err != nil {
-		return maprat.ExplainRequest{}, err
+		return p, maprat.ExplainRequest{}, err
 	}
-	settings := maprat.DefaultSettings()
-	if v := r.URL.Query().Get("k"); v != "" {
-		k, err := strconv.Atoi(v)
-		if err != nil || k < 1 || k > 12 {
-			return maprat.ExplainRequest{}, fmt.Errorf("bad k %q (want 1..12)", v)
-		}
-		settings.K = k
-	}
-	if v := r.URL.Query().Get("coverage"); v != "" {
-		a, err := strconv.ParseFloat(v, 64)
-		if err != nil || a < 0 || a > 1 {
-			return maprat.ExplainRequest{}, fmt.Errorf("bad coverage %q (want 0..1)", v)
-		}
-		settings.Coverage = a
-	}
-	if v := r.URL.Query().Get("profile"); v != "" {
-		key, err := cube.ParseKey(v)
-		if err != nil {
-			return maprat.ExplainRequest{}, fmt.Errorf("bad profile: %v", err)
-		}
-		settings.Profile = key
-	}
-	q.Window, err = parseWindow(r)
-	if err != nil {
-		return maprat.ExplainRequest{}, err
-	}
-	req := maprat.ExplainRequest{Query: q, Settings: settings}
-	if r.URL.Query().Get("geo") == "off" {
-		free := cube.Config{RequireState: false, MinSupport: 8, MaxAVPairs: 2, SkipApex: true}
-		req.CubeConfig = &free
-	}
-	return req, nil
+	req, err := p.ExplainRequest()
+	return p, req, err
 }
 
-func parseWindow(r *http.Request) (store.TimeWindow, error) {
-	var w store.TimeWindow
-	if v := r.URL.Query().Get("from"); v != "" {
-		y, err := strconv.Atoi(v)
-		if err != nil {
-			return w, fmt.Errorf("bad from year %q", v)
-		}
-		w.From = time.Date(y, 1, 1, 0, 0, 0, 0, time.UTC).Unix()
-		w.HasFrom = true
+// requireGet guards the HTML result pages: their forms submit with GET,
+// so any other method answers 405 (the v1 surface is the place for POST
+// bodies) instead of reaching the decoder's JSON-body path.
+func requireGet(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method == http.MethodGet || r.Method == http.MethodHead {
+		return true
 	}
-	if v := r.URL.Query().Get("to"); v != "" {
-		y, err := strconv.Atoi(v)
-		if err != nil {
-			return w, fmt.Errorf("bad to year %q", v)
-		}
-		w.To = time.Date(y+1, 1, 1, 0, 0, 0, 0, time.UTC).Unix() - 1
-		w.HasTo = true
-	}
-	return w, nil
+	w.Header().Set("Allow", "GET")
+	http.Error(w, "method "+r.Method+" not allowed (use GET)", http.StatusMethodNotAllowed)
+	return false
 }
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
-	req, err := s.parseRequest(r)
+	if !requireGet(w, r) {
+		return
+	}
+	_, req, err := s.parseRequest(r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -301,27 +267,31 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleGroup(w http.ResponseWriter, r *http.Request) {
-	req, err := s.parseRequest(r)
+	if !requireGet(w, r) {
+		return
+	}
+	p, req, err := s.parseRequest(r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	key, err := cube.ParseKey(r.URL.Query().Get("key"))
+	key, err := p.GroupKey()
 	if err != nil {
-		http.Error(w, "bad key: "+err.Error(), http.StatusBadRequest)
+		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
-	st, related, err := s.eng.ExploreGroupContext(ctx, req.Query, key, 0)
+	// One unified call serves stats, related groups and refinements from
+	// the same materialized plan. A context deadline or disconnect in any
+	// stage propagates as 504/499 — refinements are no longer a separate
+	// best-effort call whose cancellation was silently swallowed.
+	ge, err := s.eng.ExploreFullContext(ctx, req.Query, key, 0, 8)
 	if err != nil {
 		http.Error(w, err.Error(), statusForError(err))
 		return
 	}
-	refinements, err := s.eng.RefineGroupContext(ctx, req.Query, key, 8)
-	if err != nil {
-		refinements = nil // the group itself rendered; drill-down is best effort
-	}
+	st := ge.Stats
 	type bar struct {
 		Score int
 		Count int
@@ -342,8 +312,8 @@ func (s *Server) handleGroup(w http.ResponseWriter, r *http.Request) {
 		"RawQuery":    r.URL.Query().Get("q"),
 		"Stats":       st,
 		"Bars":        bars,
-		"Related":     related,
-		"Refinements": refinements,
+		"Related":     ge.Related,
+		"Refinements": ge.Refinements,
 		"URLQuery":    template.URL(r.URL.RawQuery),
 	})
 }
@@ -373,7 +343,10 @@ func (s *Server) handleBrowse(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleEvolution(w http.ResponseWriter, r *http.Request) {
-	req, err := s.parseRequest(r)
+	if !requireGet(w, r) {
+		return
+	}
+	_, req, err := s.parseRequest(r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -409,8 +382,13 @@ func (s *Server) handleEvolution(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleAPIExplain is the deprecated pre-v1 endpoint, kept as an alias
+// for one release with its original JSON shape. New clients should use
+// /api/v1/explain.
 func (s *Server) handleAPIExplain(w http.ResponseWriter, r *http.Request) {
-	req, err := s.parseRequest(r)
+	w.Header().Set("Deprecation", "true")
+	w.Header().Set("Link", `</api/v1/explain>; rel="successor-version"`)
+	_, req, err := s.parseRequest(r)
 	if err != nil {
 		writeJSONError(w, http.StatusBadRequest, err)
 		return
@@ -463,10 +441,7 @@ func (s *Server) handleAPIExplain(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Tasks = append(resp.Tasks, at)
 	}
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(resp); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-	}
+	api.WriteJSON(w, resp)
 }
 
 func writeJSONError(w http.ResponseWriter, code int, err error) {

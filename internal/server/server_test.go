@@ -347,6 +347,9 @@ func TestStatsEndpoint(t *testing.T) {
 	if code != http.StatusOK {
 		t.Fatalf("api explain status %d", code)
 	}
+	if code, _ := get(t, ts, "/api/v1/explain?q="+url.QueryEscape(`movie:"Heat"`)); code != http.StatusOK {
+		t.Fatalf("v1 explain status %d", code)
+	}
 
 	code, body = get(t, ts, "/statsz")
 	if code != http.StatusOK {
@@ -365,6 +368,10 @@ func TestStatsEndpoint(t *testing.T) {
 			Misses uint64 `json:"misses"`
 		} `json:"result_cache"`
 		Mines uint64 `json:"mines"`
+		API   map[string]struct {
+			Requests uint64            `json:"requests"`
+			Status   map[string]uint64 `json:"status"`
+		} `json:"api"`
 	}
 	if err := json.Unmarshal([]byte(body), &resp); err != nil {
 		t.Fatalf("statsz json: %v\n%s", err, body)
@@ -381,6 +388,134 @@ func TestStatsEndpoint(t *testing.T) {
 	// The second explain of the same query hits the result cache.
 	if resp.Result.Hits == 0 {
 		t.Errorf("result cache saw no hits: %+v", resp.Result)
+	}
+	// The v1 surface's per-endpoint counters ride along.
+	if ep, ok := resp.API["explain"]; !ok || ep.Requests == 0 || ep.Status["2xx"] == 0 {
+		t.Errorf("statsz missing v1 endpoint metrics: %+v", resp.API)
+	}
+}
+
+// TestV1MountedThroughServer checks the versioned surface is reachable
+// through the server mux with the shared error envelope.
+func TestV1MountedThroughServer(t *testing.T) {
+	ts := testServer(t)
+	code, body := get(t, ts, "/api/v1/explain?q="+url.QueryEscape(`movie:"Toy Story"`))
+	if code != http.StatusOK {
+		t.Fatalf("v1 explain status %d: %s", code, body)
+	}
+	var resp struct {
+		Tasks []struct {
+			Task   string `json:"task"`
+			Groups []struct {
+				Key string `json:"key"`
+			} `json:"groups"`
+		} `json:"tasks"`
+	}
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatalf("v1 json: %v", err)
+	}
+	if len(resp.Tasks) != 2 || len(resp.Tasks[0].Groups) == 0 {
+		t.Fatalf("v1 payload incomplete: %s", body)
+	}
+
+	for _, p := range []string{"/api/v1/group", "/api/v1/refine", "/api/v1/drill", "/api/v1/evolution", "/api/v1/browse"} {
+		q := ""
+		if p != "/api/v1/browse" {
+			q = "?q=" + url.QueryEscape(`movie:"Toy Story"`) + "&key=" + url.QueryEscape(resp.Tasks[0].Groups[0].Key)
+		}
+		if code, body := get(t, ts, p+q); code != http.StatusOK {
+			t.Errorf("GET %s = %d: %s", p, code, body)
+		}
+	}
+
+	code, body = get(t, ts, "/api/v1/explain")
+	if code != http.StatusBadRequest {
+		t.Fatalf("v1 missing q status %d", code)
+	}
+	var env struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal([]byte(body), &env); err != nil || env.Error.Code != "bad_request" {
+		t.Errorf("v1 error envelope: %q (err %v)", body, err)
+	}
+}
+
+// TestHTMLPagesGetOnly checks the form pages reject non-GET methods with
+// 405 instead of feeding them into the decoder's JSON-body path.
+func TestHTMLPagesGetOnly(t *testing.T) {
+	ts := testServer(t)
+	for _, p := range []string{"/explain", "/group", "/evolution"} {
+		resp, err := http.Post(ts.URL+p+"?q="+url.QueryEscape(`movie:"Toy Story"`), "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("POST %s = %d, want 405", p, resp.StatusCode)
+		}
+		if allow := resp.Header.Get("Allow"); allow != "GET" {
+			t.Errorf("POST %s Allow = %q, want GET", p, allow)
+		}
+	}
+}
+
+// TestLegacyAPIExplainDeprecated checks the pre-v1 endpoint still serves
+// its original shape but advertises the successor.
+func TestLegacyAPIExplainDeprecated(t *testing.T) {
+	ts := testServer(t)
+	resp, err := http.Get(ts.URL + "/api/explain?q=" + url.QueryEscape(`movie:"Toy Story"`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Deprecation") != "true" {
+		t.Error("legacy endpoint missing Deprecation header")
+	}
+	if !strings.Contains(resp.Header.Get("Link"), "/api/v1/explain") {
+		t.Errorf("legacy endpoint Link = %q", resp.Header.Get("Link"))
+	}
+}
+
+// TestGroupPageRefinementNote checks a group without drill-deeper
+// children renders the unavailable note instead of an empty section.
+func TestGroupPageRefinementNote(t *testing.T) {
+	ts := testServer(t)
+	// Descend the refinement lattice from CA until a leaf: groups at the
+	// cube's MaxAVPairs bound have no drill-deeper children.
+	key := "state=CA"
+	for i := 0; i < 4; i++ {
+		code, body := get(t, ts, "/api/v1/refine?q="+url.QueryEscape(`movie:"Toy Story"`)+
+			"&key="+url.QueryEscape(key)+"&limit=1")
+		if code != http.StatusOK {
+			t.Fatalf("refine %q status %d: %s", key, code, body)
+		}
+		var refs struct {
+			Refinements []struct {
+				Group struct {
+					Key string `json:"key"`
+				} `json:"group"`
+			} `json:"refinements"`
+		}
+		if err := json.Unmarshal([]byte(body), &refs); err != nil {
+			t.Fatalf("refine json: %v", err)
+		}
+		if len(refs.Refinements) == 0 {
+			break // key is a leaf
+		}
+		key = refs.Refinements[0].Group.Key
+	}
+	code, page := get(t, ts, "/group?q="+url.QueryEscape(`movie:"Toy Story"`)+"&key="+url.QueryEscape(key))
+	if code != http.StatusOK {
+		t.Fatalf("leaf group page %d", code)
+	}
+	if !strings.Contains(page, "drill-down unavailable") {
+		t.Error("leaf group page missing the drill-down-unavailable note")
 	}
 }
 

@@ -120,6 +120,9 @@ var groupTmpl = mustTmpl("group", `<!DOCTYPE html>
 <td><a href="/group?q={{$.RawQuery}}&key={{.Group.Key.Param}}">explore</a></td></tr>
 {{end}}
 </table>
+{{else}}
+<h2>Drill deeper (most deviant refinements)</h2>
+<p class="meta">drill-down unavailable: this group has no deeper refinements</p>
 {{end}}
 
 {{if .Related}}

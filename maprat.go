@@ -521,6 +521,19 @@ func (e *Engine) cacheKey(req ExplainRequest) string {
 		req.Settings.SampleSize, req.Tasks, !req.DisableRelax, cubeCfg)
 }
 
+// GroupExploration bundles everything the per-group exploration renders —
+// the Figure-3 statistics, the sibling groups to compare against, and the
+// most deviant drill-deeper refinements — all computed from the same
+// materialized plan, so one group click performs at most one plan fetch.
+type GroupExploration struct {
+	Stats   GroupStats
+	Related []GroupResult
+	// Refinements is nil when the exploration was requested without them
+	// (refineLimit < 0) or when the group has no drill-deeper children in
+	// the cube.
+	Refinements []Refinement
+}
+
 // ExploreGroup recomputes the Figure-3 exploration for one explanation
 // group: full statistics (histogram, city drill-down, timeline) plus the
 // sibling groups to compare against.
@@ -529,27 +542,70 @@ func (e *Engine) ExploreGroup(q Query, key Key, buckets int) (*GroupStats, []Gro
 }
 
 // ExploreGroupContext is ExploreGroup with cancellation between the
-// pipeline's stages. The resolve → gather → cube stages come from the
-// materialization tier, so exploring a group right after its Explain does
-// no pipeline work at all.
+// pipeline's stages. It is a thin wrapper over ExploreFullContext that
+// skips the refinement stage.
 func (e *Engine) ExploreGroupContext(ctx context.Context, q Query, key Key, buckets int) (*GroupStats, []GroupResult, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, nil, err
-	}
-	p, err := e.planFor(ctx, q, e.groupCubeConfig(key))
+	ge, err := e.ExploreFullContext(ctx, q, key, buckets, -1)
 	if err != nil {
 		return nil, nil, err
 	}
+	return &ge.Stats, ge.Related, nil
+}
+
+// ExploreFull is ExploreFullContext without cancellation.
+func (e *Engine) ExploreFull(q Query, key Key, buckets, refineLimit int) (*GroupExploration, error) {
+	return e.ExploreFullContext(context.Background(), q, key, buckets, refineLimit)
+}
+
+// ExploreFullContext computes the whole per-group exploration — stats,
+// related groups and refinements — from one plan fetch. The resolve →
+// gather → cube stages come from the materialization tier, so exploring a
+// group right after its Explain does no pipeline work at all. refineLimit
+// caps the refinement list (0 = all); a negative refineLimit skips the
+// refinement stage entirely. Both the HTML front-end and the /api/v1
+// handlers consume this one call.
+func (e *Engine) ExploreFullContext(ctx context.Context, q Query, key Key, buckets, refineLimit int) (*GroupExploration, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	p, err := e.planFor(ctx, q, e.groupCubeConfig(key))
+	if err != nil {
+		return nil, err
+	}
 	g, ok := p.Cube.Group(key)
 	if !ok {
-		return nil, nil, groupNotFound(key, q)
+		return nil, groupNotFound(key, q)
 	}
-	st := explore.Stats(p.Tuples, g, buckets)
-	var related []GroupResult
+	ge := &GroupExploration{Stats: explore.Stats(p.Tuples, g, buckets)}
 	for _, rg := range explore.Related(p.Cube, g) {
-		related = append(related, groupResult(rg, len(p.Tuples)))
+		ge.Related = append(ge.Related, groupResult(rg, len(p.Tuples)))
 	}
-	return &st, related, nil
+	if refineLimit < 0 {
+		return ge, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ge.Refinements = refinementsFor(p, g, refineLimit)
+	return ge, nil
+}
+
+// refinementsFor converts a group's drill-deeper children into
+// Refinement results, capped at limit (0 = all) — the one construction
+// both ExploreFullContext and RefineGroupContext serve.
+func refinementsFor(p *store.Plan, g *cube.Group, limit int) []Refinement {
+	var out []Refinement
+	for _, ref := range explore.Refinements(p.Cube, g) {
+		out = append(out, Refinement{
+			Group: groupResult(ref.Group, len(p.Tuples)),
+			Added: ref.Added.String(),
+			Delta: ref.Delta,
+		})
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	return out
 }
 
 // Refinement pairs a drill-deeper group (the parent's description plus
@@ -585,18 +641,7 @@ func (e *Engine) RefineGroupContext(ctx context.Context, q Query, key Key, limit
 	if !ok {
 		return nil, groupNotFound(key, q)
 	}
-	var out []Refinement
-	for _, ref := range explore.Refinements(p.Cube, g) {
-		out = append(out, Refinement{
-			Group: groupResult(ref.Group, len(p.Tuples)),
-			Added: ref.Added.String(),
-			Delta: ref.Delta,
-		})
-		if limit > 0 && len(out) >= limit {
-			break
-		}
-	}
-	return out, nil
+	return refinementsFor(p, g, limit), nil
 }
 
 // DrillMine runs the paper's drill-down one level further than statistics:
@@ -636,7 +681,7 @@ func (e *Engine) DrillMineContext(ctx context.Context, q Query, parent Key, task
 	}
 	cfg := cube.Config{
 		RequireCity: true,
-		MinSupport:  maxInt(3, len(sub)/50),
+		MinSupport:  max(3, len(sub)/50),
 		MaxAVPairs:  parent.NumConstrained() + 2,
 		SkipApex:    true,
 	}
@@ -661,13 +706,6 @@ func (e *Engine) DrillMineContext(ctx context.Context, q Query, parent Key, task
 		tr.Groups = append(tr.Groups, groupResult(&c.Groups[gi], len(sub)))
 	}
 	return tr, nil
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // StateOverview is one row of the browse-mode choropleth: a state's

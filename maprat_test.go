@@ -2,6 +2,7 @@ package maprat
 
 import (
 	"errors"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -239,6 +240,57 @@ func TestExploreGroup(t *testing.T) {
 		t.Error("geo-anchored group has no city drill-down")
 	}
 	_ = related // sibling presence depends on pruning; exercised in explore tests
+}
+
+// TestExploreFullV1Unification pins the GroupExploration unification: the
+// one-call exploration returns exactly what the legacy three-value
+// ExploreGroup and the separate RefineGroup returned, and a negative
+// refine limit skips the refinement stage.
+func TestExploreFullV1Unification(t *testing.T) {
+	e := testEngine(t)
+	q := mustQuery(t, e, `movie:"Toy Story"`)
+	ex, err := e.Explain(ExplainRequest{Query: q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := ex.Result(SimilarityMining).Groups[0].Key
+
+	ge, err := e.ExploreFull(q, key, 6, 0)
+	if err != nil {
+		t.Fatalf("ExploreFull: %v", err)
+	}
+	st, related, err := e.ExploreGroup(q, key, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ge.Stats, *st) {
+		t.Errorf("unified stats diverge:\n%+v\n%+v", ge.Stats, *st)
+	}
+	if !reflect.DeepEqual(ge.Related, related) {
+		t.Errorf("unified related groups diverge")
+	}
+	refs, err := e.RefineGroup(q, key, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ge.Refinements, refs) {
+		t.Errorf("unified refinements diverge:\n%+v\n%+v", ge.Refinements, refs)
+	}
+
+	limited, err := e.ExploreFull(q, key, 6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) > 2 && len(limited.Refinements) != 2 {
+		t.Errorf("refine limit 2 returned %d refinements", len(limited.Refinements))
+	}
+	skipped, err := e.ExploreFull(q, key, 6, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped.Refinements != nil {
+		t.Errorf("refineLimit -1 still computed %d refinements", len(skipped.Refinements))
+	}
 }
 
 func TestExploreGroupUnknownKey(t *testing.T) {
