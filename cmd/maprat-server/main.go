@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/jobs"
 	"repro/internal/server"
 )
 
@@ -31,6 +32,12 @@ func main() {
 		timeout   = flag.Duration("timeout", server.DefaultRequestTimeout, "per-request mining timeout")
 		maxBatch  = flag.Int("max-batch", 0, "max requests per /api/v1/batch call (0 = default)")
 		accessLog = flag.Bool("access-log", true, "log /api/v1 requests")
+
+		jobWorkers = flag.Int("job-workers", 0, "async jobs executed concurrently (0 = default)")
+		jobQueue   = flag.Int("job-queue", 0, "async job admission queue depth (0 = default)")
+		jobTTL     = flag.Duration("job-ttl", 0, "how long finished job results stay retrievable (0 = default)")
+		jobTimeout = flag.Duration("job-timeout", 0, "per-job mining timeout (0 = default)")
+		gzipOn     = flag.Bool("gzip", true, "offer gzip-compressed /api/v1 responses to clients that accept it")
 	)
 	flag.Parse()
 
@@ -71,7 +78,17 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 	context.AfterFunc(ctx, stop)
-	cfg := server.Config{RequestTimeout: *timeout, MaxBatch: *maxBatch}
+	cfg := server.Config{
+		RequestTimeout: *timeout,
+		MaxBatch:       *maxBatch,
+		EnableGzip:     *gzipOn,
+		Jobs: jobs.Config{
+			Workers:    *jobWorkers,
+			Queue:      *jobQueue,
+			ResultTTL:  *jobTTL,
+			JobTimeout: *jobTimeout,
+		},
+	}
 	if *accessLog {
 		cfg.AccessLog = log.Default()
 	}

@@ -9,9 +9,17 @@
 //	maprat -q 'movie:"The Twilight Saga: Eclipse"' -framework -coverage 0.1 -k 2
 //	maprat -q 'movie:"Toy Story"' -explore 'gender=male,state=CA'
 //	maprat -q 'movie:"Toy Story"' -evolution
+//
+// With -server the same subcommands run against a live maprat-server
+// through the pkg/client SDK instead of opening a local dataset; adding
+// -async submits the work as a job and streams restart progress:
+//
+//	maprat -server http://localhost:8080 -q 'movie:"Toy Story"'
+//	maprat -server http://localhost:8080 -async -q 'genre:Drama' -k 4
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -20,7 +28,10 @@ import (
 
 	"repro"
 	"repro/internal/cube"
+	"repro/pkg/client"
 )
+
+func jsonUnmarshal(data []byte, v any) error { return json.Unmarshal(data, v) }
 
 func main() {
 	log.SetFlags(0)
@@ -41,8 +52,55 @@ func main() {
 		exploreK  = flag.String("explore", "", "explore one group key, e.g. 'gender=male,state=CA'")
 		drillK    = flag.String("drill", "", "drill-mine city sub-groups inside one group key, e.g. 'state=CA'")
 		evolution = flag.Bool("evolution", false, "show the best SM groups per year (time slider)")
+		serverURL = flag.String("server", "", "remote mode: run against a live maprat-server at this base URL")
+		async     = flag.Bool("async", false, "remote mode: submit as an async job and stream progress (requires -server)")
 	)
 	flag.Parse()
+
+	if *serverURL == "" && *async {
+		log.Fatal("-async requires -server")
+	}
+	if *serverURL != "" {
+		o := remoteOpts{
+			op:    "explain",
+			async: *async,
+			color: *color,
+			params: client.Params{
+				Q: *queryStr,
+			},
+		}
+		if *k != 3 {
+			o.params.K = k
+		}
+		if *coverage != 0.20 {
+			o.params.Coverage = coverage
+		}
+		if *fromYear != 0 {
+			o.params.From = fromYear
+		}
+		if *toYear != 0 {
+			o.params.To = toYear
+		}
+		o.params.Profile = *profile
+		if *framework {
+			o.params.Geo = "off"
+		}
+		switch {
+		case *exploreK != "":
+			o.op = "group"
+			o.params.Key = *exploreK
+		case *drillK != "":
+			o.op = "drill"
+			o.params.Key = *drillK
+		case *evolution:
+			o.op = "evolution"
+			o.params.Tasks = []string{"sm"}
+		}
+		if err := runRemote(*serverURL, o); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	eng, err := openEngine(*dataDir, *scale, *seed)
 	if err != nil {

@@ -1,0 +1,262 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/viz"
+	"repro/pkg/client"
+)
+
+// remoteOpts is everything the remote runners need beyond the client:
+// the op to run, the shared knob set, and the output switches.
+type remoteOpts struct {
+	op     string
+	params client.Params
+	async  bool
+	color  bool
+}
+
+// runRemote drives a live maprat-server through the pkg/client SDK: the
+// same subcommands as local mode, but mining happens server-side. With
+// -async the request is submitted as a job, progress streams to stderr
+// over SSE, and the result is fetched once the job completes.
+func runRemote(serverURL string, o remoteOpts) error {
+	c, err := client.New(serverURL)
+	if err != nil {
+		return err
+	}
+	// Ctrl-C cancels the remote call; in async mode it also cancels the
+	// submitted job server-side before exiting.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	if o.async {
+		return runRemoteAsync(ctx, c, o)
+	}
+	return renderRemote(ctx, c, o)
+}
+
+// renderRemote runs one synchronous endpoint and renders its payload.
+func renderRemote(ctx context.Context, c *client.Client, o remoteOpts) error {
+	switch o.op {
+	case "group":
+		g, err := c.Group(ctx, o.params)
+		if err != nil {
+			return err
+		}
+		renderRemoteGroup(g)
+	case "drill":
+		d, err := c.Drill(ctx, o.params)
+		if err != nil {
+			return err
+		}
+		renderRemoteDrill(d)
+	case "evolution":
+		ev, err := c.Evolution(ctx, o.params)
+		if err != nil {
+			return err
+		}
+		renderRemoteEvolution(ev)
+	default:
+		ex, err := c.Explain(ctx, o.params)
+		if err != nil {
+			return err
+		}
+		renderRemoteExplain(ex, o.color)
+	}
+	return nil
+}
+
+// runRemoteAsync submits the op as a job, streams restart progress to
+// stderr, and renders the completed result.
+func runRemoteAsync(ctx context.Context, c *client.Client, o remoteOpts) error {
+	job, err := c.SubmitJob(ctx, o.op, o.params)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "job %s submitted (%s)\n", job.ID, job.State)
+	st, err := c.StreamJob(ctx, job.ID, func(ev client.JobEvent) error {
+		switch {
+		case ev.Type == "progress":
+			if p := ev.Progress(); p != nil {
+				fmt.Fprintf(os.Stderr, "job %s: restart %d/%d\n", job.ID, p.Done, p.Total)
+			}
+		case ev.Type == "state":
+			if s := ev.Status(); s != nil {
+				fmt.Fprintf(os.Stderr, "job %s: %s\n", job.ID, s.State)
+			}
+		case ev.Terminal():
+			fmt.Fprintf(os.Stderr, "job %s: %s\n", job.ID, ev.Type)
+		}
+		return nil
+	})
+	if err != nil {
+		if ctx.Err() != nil {
+			// Interrupted: cancel server-side on a fresh context so the
+			// worker slot frees immediately.
+			cctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_, _ = c.CancelJob(cctx, job.ID)
+		}
+		return err
+	}
+	switch st.State {
+	case "done":
+	case "canceled":
+		return fmt.Errorf("job %s canceled", st.ID)
+	default:
+		if st.Error != nil {
+			return fmt.Errorf("job %s failed: %s: %s", st.ID, st.Error.Code, st.Error.Message)
+		}
+		return fmt.Errorf("job %s failed", st.ID)
+	}
+	return renderRemoteResult(st, o)
+}
+
+// renderRemoteResult decodes a done job's result document by op and
+// renders it like the synchronous path.
+func renderRemoteResult(st *client.JobStatus, o remoteOpts) error {
+	decode := func(v any) error { return jsonUnmarshal(st.Result, v) }
+	switch o.op {
+	case "group":
+		var g client.GroupResponse
+		if err := decode(&g); err != nil {
+			return err
+		}
+		renderRemoteGroup(&g)
+	case "drill":
+		var d client.DrillResponse
+		if err := decode(&d); err != nil {
+			return err
+		}
+		renderRemoteDrill(&d)
+	case "evolution":
+		var ev client.EvolutionResponse
+		if err := decode(&ev); err != nil {
+			return err
+		}
+		renderRemoteEvolution(&ev)
+	default:
+		var ex client.ExplainResponse
+		if err := decode(&ex); err != nil {
+			return err
+		}
+		renderRemoteExplain(&ex, o.color)
+	}
+	return nil
+}
+
+// renderRemoteExplain rebuilds the terminal choropleths from the wire
+// DTO — the same viz layer local mode uses, fed from the API payload.
+func renderRemoteExplain(ex *client.ExplainResponse, color bool) {
+	out := &viz.Exploration{Query: ex.Query}
+	for _, tr := range ex.Tasks {
+		m := viz.Map{Title: fmt.Sprintf("%s — %s (%d ratings, overall μ=%.2f)",
+			taskLongName(tr.Task), ex.Query, ex.NumRatings, ex.OverallMean)}
+		for _, g := range tr.Groups {
+			m.Shades = append(m.Shades, viz.Shade{
+				State:   g.State,
+				Mean:    g.Mean,
+				Support: g.Count,
+				Label:   g.Phrase,
+				Icons:   g.Icons,
+			})
+		}
+		out.Maps = append(out.Maps, m)
+	}
+	fmt.Print(out.ASCII(color))
+	fmt.Printf("\n%d items, %d ratings, overall μ=%.2f σ=%.2f (mined remotely in %.0fms)\n",
+		len(ex.ItemIDs), ex.NumRatings, ex.OverallMean, ex.OverallStd, ex.ElapsedMS)
+	for _, tr := range ex.Tasks {
+		fmt.Printf("%s: objective=%.4f coverage=%.0f%% (α=%.0f%%)\n",
+			tr.Task, tr.Objective, tr.Coverage*100, tr.RelaxedCoverage*100)
+	}
+}
+
+func taskLongName(task string) string {
+	if task == "DM" {
+		return "Diversity Mining (reviewers who disagree)"
+	}
+	return "Similarity Mining (reviewers who agree)"
+}
+
+func renderRemoteGroup(g *client.GroupResponse) {
+	fmt.Printf("%s\n  μ=%.2f σ=%.2f n=%d share=%.1f%%\n\n",
+		g.Group.Phrase, g.Group.Mean, g.Group.Std, g.Group.Count, g.Group.Share*100)
+	fmt.Println("rating distribution:")
+	maxCount := 1
+	for _, n := range g.Histogram {
+		if n > maxCount {
+			maxCount = n
+		}
+	}
+	for i, n := range g.Histogram {
+		fmt.Printf("  %d★ %-40s %d\n", i+1, bar(n, maxCount), n)
+	}
+	if len(g.Cities) > 0 {
+		fmt.Println("\ncity drill-down:")
+		for _, c := range g.Cities {
+			fmt.Printf("  %-20s μ=%.2f n=%d\n", c.City, c.Mean, c.Count)
+		}
+	}
+	if len(g.Timeline) > 0 {
+		fmt.Println("\nrating evolution:")
+		for _, b := range g.Timeline {
+			if b.Count == 0 {
+				fmt.Printf("  %-18s —\n", b.Label)
+				continue
+			}
+			fmt.Printf("  %-18s μ=%.2f n=%d\n", b.Label, b.Mean, b.Count)
+		}
+	}
+	if len(g.Related) > 0 {
+		fmt.Println("\nrelated groups:")
+		for _, r := range g.Related {
+			fmt.Printf("  %-55s μ=%.2f n=%d\n", r.Phrase, r.Mean, r.Count)
+		}
+	}
+	if len(g.Refinements) > 0 {
+		fmt.Println("\ndrill deeper (most deviant refinements):")
+		for _, r := range g.Refinements {
+			fmt.Printf("  %-55s μ=%.2f n=%-5d Δ%+.2f (+%s)\n",
+				r.Group.Phrase, r.Group.Mean, r.Group.Count, r.Delta, r.Added)
+		}
+	}
+}
+
+func renderRemoteDrill(d *client.DrillResponse) {
+	fmt.Printf("city-level drill-down mining inside %s:\n", d.Parent)
+	for _, g := range d.Result.Groups {
+		fmt.Printf("  %-55s μ=%.2f n=%d\n", g.Phrase, g.Mean, g.Count)
+	}
+	fmt.Printf("objective=%.4f coverage=%.0f%% of the group's ratings\n",
+		d.Result.Objective, d.Result.Coverage*100)
+}
+
+func renderRemoteEvolution(ev *client.EvolutionResponse) {
+	fmt.Printf("time slider — %s\n", ev.Query)
+	for _, p := range ev.Points {
+		if p.Error != nil || p.Explain == nil {
+			msg := ""
+			if p.Error != nil {
+				msg = p.Error.Message
+			}
+			fmt.Printf("%d: (no result: %s)\n", p.Year, msg)
+			continue
+		}
+		fmt.Printf("%d: %d ratings, μ=%.2f\n", p.Year, p.Explain.NumRatings, p.Explain.OverallMean)
+		for _, tr := range p.Explain.Tasks {
+			if tr.Task != "SM" {
+				continue
+			}
+			for _, g := range tr.Groups {
+				fmt.Printf("    %-55s μ=%.2f n=%d\n", g.Phrase, g.Mean, g.Count)
+			}
+		}
+	}
+}

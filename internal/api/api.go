@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/jobs"
 )
 
 // Config tunes the v1 surface.
@@ -32,6 +33,14 @@ type Config struct {
 	// ErrorLog receives panic reports; nil means log.Default(), so
 	// crashes are recorded even when the access log is off.
 	ErrorLog *log.Logger
+	// Jobs tunes the async job subsystem (queue depth, worker pool,
+	// result TTL, job timeout); the zero value uses the jobs package
+	// defaults.
+	Jobs jobs.Config
+	// EnableGzip lets clients negotiate gzip-compressed JSON responses
+	// via Accept-Encoding on every /api/v1 endpoint except the SSE
+	// stream (which must never sit behind a buffering compressor).
+	EnableGzip bool
 }
 
 // The v1 defaults.
@@ -60,6 +69,7 @@ type Handler struct {
 	mux     *http.ServeMux
 	metrics map[string]*endpointMetrics
 	reqID   atomic.Uint64
+	jobs    *jobs.Manager
 }
 
 // New mounts the v1 endpoints over eng.
@@ -74,6 +84,7 @@ func New(eng *maprat.Engine, cfg Config) *Handler {
 		cfg.BatchWorkers = DefaultBatchWorkers
 	}
 	h := &Handler{eng: eng, cfg: cfg, mux: http.NewServeMux(), metrics: map[string]*endpointMetrics{}}
+	h.jobs = jobs.NewManager(cfg.Jobs)
 	h.mux.Handle("/api/v1/explain", h.wrap("explain", h.handleExplain))
 	h.mux.Handle("/api/v1/group", h.wrap("group", h.handleGroup))
 	h.mux.Handle("/api/v1/refine", h.wrap("refine", h.handleRefine))
@@ -81,6 +92,12 @@ func New(eng *maprat.Engine, cfg Config) *Handler {
 	h.mux.Handle("/api/v1/evolution", h.wrap("evolution", h.handleEvolution))
 	h.mux.Handle("/api/v1/browse", h.wrap("browse", h.handleBrowse))
 	h.mux.Handle("/api/v1/batch", h.wrap("batch", h.handleBatch))
+	// The async job surface. The patterns carry no method so every
+	// unsupported method still answers the structured 405 envelope
+	// (ServeMux's own 405 is plain text).
+	h.mux.Handle("/api/v1/jobs", h.wrap("jobs_submit", h.handleJobs))
+	h.mux.Handle("/api/v1/jobs/{id}", h.wrap("jobs_get", h.handleJob))
+	h.mux.Handle("/api/v1/jobs/{id}/events", h.wrap("jobs_events", h.handleJobEvents))
 	// Routing failures reuse the envelope shape but carry the status the
 	// condition deserves: 404 for a path that doesn't exist, 405 (with
 	// Allow) for a method the endpoint doesn't support — see notFound and
@@ -93,6 +110,14 @@ func New(eng *maprat.Engine, cfg Config) *Handler {
 
 // ServeHTTP implements http.Handler.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
+
+// Close drains the job subsystem: submits stop being admitted, queued
+// jobs are canceled, and running jobs get until ctx ends to finish.
+// The server calls it after the HTTP listener has shut down.
+func (h *Handler) Close(ctx context.Context) error { return h.jobs.Close(ctx) }
+
+// JobStats exposes the job subsystem's gauges and counters for /statsz.
+func (h *Handler) JobStats() jobs.Stats { return h.jobs.Stats() }
 
 // requestContext derives the mining context for one request.
 func (h *Handler) requestContext(r *http.Request) (context.Context, context.CancelFunc) {

@@ -91,7 +91,9 @@ func TestV1DecoderDefaults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if req.Settings != maprat.DefaultSettings() {
+	// Settings carries a func field (Progress), so compare reflectively;
+	// DeepEqual treats the two nil callbacks as equal.
+	if !reflect.DeepEqual(req.Settings, maprat.DefaultSettings()) {
 		t.Errorf("settings = %+v, want defaults", req.Settings)
 	}
 	if req.DisableRelax || req.CubeConfig != nil || len(req.Tasks) != 0 {

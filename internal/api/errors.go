@@ -31,6 +31,11 @@ const (
 	// Routing failures.
 	CodeNotFound         ErrorCode = "not_found"
 	CodeMethodNotAllowed ErrorCode = "method_not_allowed"
+	// Async job surface: admission control rejected the submit (the
+	// response carries Retry-After), or the job ID does not exist —
+	// never submitted, or its result retention expired.
+	CodeQueueFull   ErrorCode = "queue_full"
+	CodeJobNotFound ErrorCode = "job_not_found"
 )
 
 // ErrorBody is the inner error object.
@@ -70,8 +75,10 @@ func (c ErrorCode) HTTPStatus() int {
 	switch c {
 	case CodeBadRequest:
 		return http.StatusBadRequest
-	case CodeNoItems, CodeNoRatings, CodeNoGroup, CodeNotFound:
+	case CodeNoItems, CodeNoRatings, CodeNoGroup, CodeNotFound, CodeJobNotFound:
 		return http.StatusNotFound
+	case CodeQueueFull:
+		return http.StatusTooManyRequests
 	case CodeMethodNotAllowed:
 		return http.StatusMethodNotAllowed
 	case CodeTimeout:

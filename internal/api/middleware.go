@@ -1,10 +1,14 @@
 package api
 
 import (
+	"compress/gzip"
 	"fmt"
+	"hash/fnv"
 	"log"
 	"net/http"
 	"runtime/debug"
+	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 )
@@ -59,15 +63,25 @@ func (h *Handler) MetricsSnapshot() map[string]EndpointSnapshot {
 }
 
 // statusRecorder captures the response status so the middleware can count
-// it and the panic handler can tell whether headers already went out.
+// it and the panic handler can tell whether headers already went out. It
+// also defers the ETag header until the status is known: the tag only
+// belongs on a successful representation, never on an error envelope.
 type statusRecorder struct {
 	http.ResponseWriter
 	status  int
 	written bool
+	etag    string // set on 200 responses just before headers go out
+}
+
+func (r *statusRecorder) beforeHeaders(code int) {
+	if r.etag != "" && code == http.StatusOK {
+		r.ResponseWriter.Header().Set("ETag", r.etag)
+	}
 }
 
 func (r *statusRecorder) WriteHeader(code int) {
 	if !r.written {
+		r.beforeHeaders(code)
 		r.status = code
 		r.written = true
 	}
@@ -76,14 +90,145 @@ func (r *statusRecorder) WriteHeader(code int) {
 
 func (r *statusRecorder) Write(b []byte) (int, error) {
 	if !r.written {
+		r.beforeHeaders(http.StatusOK)
 		r.status = http.StatusOK
 		r.written = true
 	}
 	return r.ResponseWriter.Write(b)
 }
 
+// Flush forwards to the underlying writer so streaming handlers (the SSE
+// job events endpoint) can push each event out immediately.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// gzipWriter transparently compresses the response body when the client
+// opted in via Accept-Encoding. The encoding decision is deferred to the
+// first header write so bodyless responses (304) stay unencoded.
+type gzipWriter struct {
+	http.ResponseWriter
+	gz          *gzip.Writer
+	wroteHeader bool
+}
+
+func (g *gzipWriter) WriteHeader(code int) {
+	if !g.wroteHeader {
+		g.wroteHeader = true
+		if code != http.StatusNoContent && code != http.StatusNotModified {
+			g.Header().Set("Content-Encoding", "gzip")
+			g.Header().Del("Content-Length")
+			g.gz = gzip.NewWriter(g.ResponseWriter)
+		}
+	}
+	g.ResponseWriter.WriteHeader(code)
+}
+
+func (g *gzipWriter) Write(b []byte) (int, error) {
+	if !g.wroteHeader {
+		g.WriteHeader(http.StatusOK)
+	}
+	if g.gz != nil {
+		return g.gz.Write(b)
+	}
+	return g.ResponseWriter.Write(b)
+}
+
+// Close flushes the gzip trailer after the handler returns.
+func (g *gzipWriter) Close() error {
+	if g.gz != nil {
+		return g.gz.Close()
+	}
+	return nil
+}
+
+func (g *gzipWriter) Flush() {
+	if g.gz != nil {
+		_ = g.gz.Flush()
+	}
+	if f, ok := g.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// acceptsGzip reports whether the request opted into a gzip response.
+// A qvalue of 0 means "not acceptable" (RFC 9110 §12.4.2), so
+// `gzip;q=0` is an explicit refusal, not an opt-in.
+func acceptsGzip(r *http.Request) bool {
+	for _, part := range strings.Split(r.Header.Get("Accept-Encoding"), ",") {
+		enc, params, _ := strings.Cut(strings.TrimSpace(part), ";")
+		if enc = strings.TrimSpace(enc); enc != "gzip" && enc != "*" {
+			continue
+		}
+		q, ok := strings.CutPrefix(strings.ReplaceAll(strings.TrimSpace(params), " ", ""), "q=")
+		if ok {
+			if v, err := strconv.ParseFloat(q, 64); err == nil && v == 0 {
+				continue
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// etagEndpoints names the deterministic GET endpoints that participate
+// in conditional requests: seeded mining is a pure function of (request,
+// dataset), so their representations are cacheable under a strong tag.
+// The jobs surface is deliberately absent — job state is anything but
+// deterministic.
+var etagEndpoints = map[string]bool{
+	"explain":   true,
+	"group":     true,
+	"refine":    true,
+	"drill":     true,
+	"evolution": true,
+	"browse":    true,
+}
+
+// etagFor derives the strong entity tag for a GET request: a hash of the
+// endpoint, the canonical (sorted) query string, and the engine's dataset
+// fingerprint. Any change to the knobs or the data underneath yields a
+// different tag.
+func (h *Handler) etagFor(name string, r *http.Request) string {
+	f := fnv.New64a()
+	f.Write([]byte(name))
+	f.Write([]byte{0})
+	f.Write([]byte(r.URL.Query().Encode()))
+	f.Write([]byte{0})
+	fmt.Fprintf(f, "%016x", h.eng.Fingerprint())
+	return fmt.Sprintf(`"mr64-%016x"`, f.Sum64())
+}
+
+// etagMatches implements the If-None-Match comparison for a strong tag:
+// any listed tag equal to ours. The `*` wildcard is deliberately NOT
+// honored: the 304 short-circuit runs before request validation, and a
+// wildcard would turn requests that should answer 400/404 into 304s. A
+// client can only hold a concrete tag it was handed on a previous 200,
+// so exact matches cannot hit that trap.
+func etagMatches(header, tag string) bool {
+	for _, part := range strings.Split(header, ",") {
+		if strings.TrimSpace(part) == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Instrument routes an out-of-package handler through the v1 middleware
+// stack under its own endpoint name, so its traffic shows up in the
+// /statsz "api" latency/status counters exactly like a native v1
+// endpoint. The server uses it to mount the deprecated /api/explain
+// alias. It must be called during setup, before the handler serves.
+func (h *Handler) Instrument(name string, next http.Handler) http.Handler {
+	return h.wrap(name, next.ServeHTTP)
+}
+
 // wrap applies the v1 middleware stack to one endpoint: request ID,
-// panic recovery, access log, and per-endpoint latency/status counters.
+// panic recovery, opt-in gzip encoding, conditional-request handling on
+// the deterministic GET endpoints, access log, and per-endpoint
+// latency/status counters.
 func (h *Handler) wrap(name string, fn http.HandlerFunc) http.Handler {
 	m := &endpointMetrics{}
 	h.metrics[name] = m
@@ -94,6 +239,16 @@ func (h *Handler) wrap(name string, fn http.HandlerFunc) http.Handler {
 			id = fmt.Sprintf("v1-%06d", h.reqID.Add(1))
 		}
 		w.Header().Set("X-Request-ID", id)
+		// The SSE stream must never be buffered behind a compressor;
+		// every other endpoint may negotiate gzip when enabled.
+		var gzw *gzipWriter
+		if h.cfg.EnableGzip && name != "jobs_events" {
+			w.Header().Set("Vary", "Accept-Encoding")
+			if acceptsGzip(r) {
+				gzw = &gzipWriter{ResponseWriter: w}
+				w = gzw
+			}
+		}
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		defer func() {
 			if p := recover(); p != nil {
@@ -107,6 +262,9 @@ func (h *Handler) wrap(name string, fn http.HandlerFunc) http.Handler {
 					writeEnvelope(rec, CodeInternal, "internal error")
 				}
 			}
+			if gzw != nil {
+				_ = gzw.Close()
+			}
 			elapsed := time.Since(start)
 			m.requests.Add(1)
 			m.totalMicros.Add(elapsed.Microseconds())
@@ -118,6 +276,19 @@ func (h *Handler) wrap(name string, fn http.HandlerFunc) http.Handler {
 			}
 			h.logf("%s %s id=%s status=%d elapsed=%s", r.Method, r.URL.Path, id, rec.status, elapsed.Round(time.Microsecond))
 		}()
+		// Conditional requests: a matching If-None-Match answers 304
+		// without running the pipeline at all — the tag covers both the
+		// request knobs and the dataset, so a match proves the client
+		// already holds exactly what mining would recompute.
+		if etagEndpoints[name] && (r.Method == http.MethodGet || r.Method == http.MethodHead) {
+			tag := h.etagFor(name, r)
+			if etagMatches(r.Header.Get("If-None-Match"), tag) {
+				rec.Header().Set("ETag", tag)
+				rec.WriteHeader(http.StatusNotModified)
+				return
+			}
+			rec.etag = tag
+		}
 		fn(rec, r)
 	})
 }

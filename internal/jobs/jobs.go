@@ -1,0 +1,515 @@
+// Package jobs is MapRat's asynchronous execution subsystem: a bounded
+// admission queue feeding a fixed worker pool, with a per-job state
+// machine (queued → running → done/failed/canceled), TTL'd retention of
+// finished jobs, cancellation wired into the standard context plumbing,
+// and a lossy-progress/lossless-terminal event feed for streaming
+// observers (the SSE endpoint).
+//
+// The package is transport- and engine-agnostic: a job is just a
+// function func(ctx, report) (any, error). The HTTP layer in internal/api
+// builds those closures over the mining pipelines and owns the wire
+// shapes; this package owns admission, execution and lifecycle.
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// State is a job's lifecycle position.
+type State string
+
+// The state machine: Queued → Running → one of the three terminal
+// states. A queued job canceled before a worker picks it up goes
+// straight to Canceled.
+const (
+	Queued   State = "queued"
+	Running  State = "running"
+	Done     State = "done"
+	Failed   State = "failed"
+	Canceled State = "canceled"
+)
+
+// Terminal reports whether s is an end state.
+func (s State) Terminal() bool { return s == Done || s == Failed || s == Canceled }
+
+// Progress is the latest solver progress a job has reported.
+type Progress struct {
+	// Done and Total count restarts of the solve currently executing.
+	// A job that mines several sub-problems (two tasks, coverage
+	// relaxation, an evolution sweep) resets Done between solves; the
+	// pair is a liveness signal, not a global percentage.
+	Done  int `json:"done"`
+	Total int `json:"total"`
+}
+
+// Fn is the work a job executes. It must honor ctx (cancellation and the
+// job timeout arrive through it) and may call report — which is safe for
+// concurrent use — as often as it likes.
+type Fn func(ctx context.Context, report func(Progress)) (any, error)
+
+// Errors surfaced by Submit.
+var (
+	// ErrQueueFull reports that admission control rejected the job: the
+	// queue already holds Config.Queue jobs. The transport layer answers
+	// it with 429 + Retry-After.
+	ErrQueueFull = errors.New("jobs: admission queue full")
+	// ErrClosed reports a submit after Close began; the manager no
+	// longer admits work.
+	ErrClosed = errors.New("jobs: manager closed")
+)
+
+// Config tunes a Manager.
+type Config struct {
+	// Workers is the number of jobs that execute concurrently
+	// (default DefaultWorkers).
+	Workers int
+	// Queue bounds how many admitted jobs may wait for a worker
+	// (default DefaultQueue). Submits beyond it fail with ErrQueueFull.
+	Queue int
+	// ResultTTL is how long a finished job (and its result) stays
+	// retrievable (default DefaultResultTTL); negative retains forever.
+	ResultTTL time.Duration
+	// JobTimeout bounds one job's execution (default DefaultJobTimeout);
+	// negative disables the deadline.
+	JobTimeout time.Duration
+	// Gate, when non-nil, is received from by each worker immediately
+	// before it starts a job — a deterministic test seam for holding the
+	// pool still while the queue is filled. Production configs leave it
+	// nil.
+	Gate <-chan struct{}
+}
+
+// The lifecycle defaults. The job timeout is deliberately far larger
+// than the synchronous surface's request timeout: detaching long mines
+// from the HTTP connection is the point of the subsystem.
+const (
+	DefaultWorkers    = 2
+	DefaultQueue      = 32
+	DefaultResultTTL  = 15 * time.Minute
+	DefaultJobTimeout = 5 * time.Minute
+)
+
+// Job is one submitted unit of work. All mutable state is guarded by the
+// manager-shared mutex; readers use Snapshot.
+type Job struct {
+	id   string
+	kind string
+	fn   Fn
+
+	m *Manager
+
+	// Guarded by m.mu.
+	state    State
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	progress Progress
+	hasProg  bool
+	version  uint64 // bumped on every observable change
+	result   any
+	err      error
+	cancel   context.CancelFunc // non-nil while running
+	cancelRq bool               // Cancel was requested
+	subs     map[int]chan struct{}
+	nextSub  int
+	expire   *time.Timer
+}
+
+// Snapshot is a consistent read of a job's observable state.
+type Snapshot struct {
+	ID       string
+	Kind     string
+	State    State
+	Created  time.Time
+	Started  time.Time // zero until the job runs
+	Finished time.Time // zero until terminal
+	// Progress is the latest report; HasProgress distinguishes "no
+	// report yet" from a genuine zero.
+	Progress    Progress
+	HasProgress bool
+	// Version increments on every observable change — pollers and the
+	// SSE loop use it to detect "anything new since last look".
+	Version uint64
+	Result  any   // set when State == Done
+	Err     error // set when State == Failed or Canceled
+}
+
+// Stats is the manager's gauge/counter snapshot for /statsz.
+type Stats struct {
+	Workers  int `json:"workers"`
+	QueueCap int `json:"queue_cap"`
+	// Gauges.
+	Queued   int `json:"queued"`
+	Running  int `json:"running"`
+	Retained int `json:"retained"`
+	// Monotonic counters.
+	Submitted uint64 `json:"submitted"`
+	Rejected  uint64 `json:"rejected"`
+	Completed uint64 `json:"completed"`
+	Failed    uint64 `json:"failed"`
+	Canceled  uint64 `json:"canceled"`
+}
+
+// Manager owns the queue, the worker pool and the job table.
+type Manager struct {
+	cfg Config
+
+	mu   sync.Mutex
+	jobs map[string]*Job
+
+	queue chan *Job
+	stop  chan struct{}
+	wg    sync.WaitGroup
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	seq     atomic.Uint64
+	running atomic.Int64
+	closed  atomic.Bool
+
+	submitted, rejected, completed, failed, canceled atomic.Uint64
+}
+
+// NewManager starts the worker pool.
+func NewManager(cfg Config) *Manager {
+	if cfg.Workers <= 0 {
+		cfg.Workers = DefaultWorkers
+	}
+	if cfg.Queue <= 0 {
+		cfg.Queue = DefaultQueue
+	}
+	if cfg.ResultTTL == 0 {
+		cfg.ResultTTL = DefaultResultTTL
+	}
+	if cfg.JobTimeout == 0 {
+		cfg.JobTimeout = DefaultJobTimeout
+	}
+	m := &Manager{
+		cfg:   cfg,
+		jobs:  make(map[string]*Job),
+		queue: make(chan *Job, cfg.Queue),
+		stop:  make(chan struct{}),
+	}
+	m.baseCtx, m.baseCancel = context.WithCancel(context.Background())
+	for w := 0; w < cfg.Workers; w++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// Submit admits a job, or rejects it with ErrQueueFull/ErrClosed without
+// blocking — admission control must answer instantly, never hang the
+// caller behind a full queue. The closed check and the enqueue happen
+// under the manager mutex so a concurrent Close cannot drain the queue
+// between them and strand the job in Queued forever (Close barriers on
+// the same mutex before draining).
+func (m *Manager) Submit(kind string, fn Fn) (*Job, error) {
+	j := &Job{
+		id:      fmt.Sprintf("job-%06d", m.seq.Add(1)),
+		kind:    kind,
+		fn:      fn,
+		m:       m,
+		state:   Queued,
+		created: time.Now(),
+		subs:    map[int]chan struct{}{},
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed.Load() {
+		m.rejected.Add(1)
+		return nil, ErrClosed
+	}
+	select {
+	case m.queue <- j:
+		m.jobs[j.id] = j
+		m.submitted.Add(1)
+		return j, nil
+	default:
+		m.rejected.Add(1)
+		return nil, ErrQueueFull
+	}
+}
+
+// Config returns the effective configuration, with the defaults the
+// constructor filled in — callers deriving hints (e.g. Retry-After) must
+// read this, not the Config they passed.
+func (m *Manager) Config() Config { return m.cfg }
+
+// Get returns a job by ID (false once it was never submitted or its
+// retention expired).
+func (m *Manager) Get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// Stats returns the current gauges and counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	retained := len(m.jobs)
+	m.mu.Unlock()
+	return Stats{
+		Workers:   m.cfg.Workers,
+		QueueCap:  m.cfg.Queue,
+		Queued:    len(m.queue),
+		Running:   int(m.running.Load()),
+		Retained:  retained,
+		Submitted: m.submitted.Load(),
+		Rejected:  m.rejected.Load(),
+		Completed: m.completed.Load(),
+		Failed:    m.failed.Load(),
+		Canceled:  m.canceled.Load(),
+	}
+}
+
+// Close drains the pool: no new submits are admitted, queued jobs that
+// never started are canceled, and running jobs get until ctx ends to
+// finish before their contexts are cut. Close returns once every worker
+// has exited.
+func (m *Manager) Close(ctx context.Context) error {
+	if m.closed.Swap(true) {
+		m.wg.Wait()
+		return nil
+	}
+	close(m.stop)
+	// Barrier: any Submit that won the race against the closed flag holds
+	// the mutex until its job is enqueued; acquiring it here guarantees
+	// the drain below sees every admitted job.
+	m.mu.Lock()
+	m.mu.Unlock() //nolint:staticcheck // empty critical section is the point
+	// Workers stop dequeuing at the stop signal; everything still queued
+	// is canceled administratively.
+	for {
+		select {
+		case j := <-m.queue:
+			j.finishCanceled(errors.New("jobs: server shutting down"))
+		default:
+			goto drained
+		}
+	}
+drained:
+	workersDone := make(chan struct{})
+	go func() { m.wg.Wait(); close(workersDone) }()
+	select {
+	case <-workersDone:
+	case <-ctx.Done():
+		m.baseCancel() // cut running jobs loose
+		<-workersDone
+	}
+	m.baseCancel()
+	return nil
+}
+
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for {
+		// Prefer the stop signal over more queued work, so Close can
+		// cancel the backlog instead of racing the pool for it.
+		select {
+		case <-m.stop:
+			return
+		default:
+		}
+		select {
+		case <-m.stop:
+			return
+		case j := <-m.queue:
+			if m.cfg.Gate != nil {
+				select {
+				case <-m.cfg.Gate:
+				case <-m.stop:
+					j.finishCanceled(errors.New("jobs: server shutting down"))
+					return
+				}
+			}
+			m.run(j)
+		}
+	}
+}
+
+func (m *Manager) run(j *Job) {
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if m.cfg.JobTimeout > 0 {
+		ctx, cancel = context.WithTimeout(m.baseCtx, m.cfg.JobTimeout)
+	} else {
+		ctx, cancel = context.WithCancel(m.baseCtx)
+	}
+	defer cancel()
+
+	m.mu.Lock()
+	if j.state != Queued { // canceled while queued
+		m.mu.Unlock()
+		return
+	}
+	j.state = Running
+	j.started = time.Now()
+	j.cancel = cancel
+	j.bumpLocked()
+	m.mu.Unlock()
+
+	m.running.Add(1)
+	result, err := j.fn(ctx, j.report)
+	m.running.Add(-1)
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j.cancel = nil
+	j.finished = time.Now()
+	switch {
+	// A context.Canceled return counts as a cancellation when somebody
+	// actually asked for one — the client via Cancel, or shutdown cutting
+	// running jobs loose (closed + baseCancel). Otherwise it is the job's
+	// own failure.
+	case (j.cancelRq || m.closed.Load()) && err != nil && errors.Is(err, context.Canceled):
+		j.state = Canceled
+		j.err = err
+		m.canceled.Add(1)
+	case err != nil:
+		j.state = Failed
+		j.err = err
+		m.failed.Add(1)
+	default:
+		j.state = Done
+		j.result = result
+		m.completed.Add(1)
+	}
+	j.bumpLocked()
+	m.scheduleExpiryLocked(j)
+}
+
+// Cancel requests cancellation: a queued job is terminally canceled on
+// the spot, a running job has its context cut (it reaches Canceled when
+// its Fn returns), and a terminal job is left untouched. The returned
+// bool reports whether the request did anything.
+func (m *Manager) Cancel(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	switch j.state {
+	case Queued:
+		// The worker that eventually pops it sees the terminal state and
+		// drops it.
+		j.cancelRq = true
+		j.state = Canceled
+		j.err = context.Canceled
+		j.finished = time.Now()
+		m.canceled.Add(1)
+		j.bumpLocked()
+		m.scheduleExpiryLocked(j)
+		return j, true
+	case Running:
+		j.cancelRq = true
+		if j.cancel != nil {
+			j.cancel()
+		}
+		return j, true
+	default:
+		return j, false
+	}
+}
+
+// finishCanceled administratively cancels a job that will never run
+// (shutdown drained it from the queue).
+func (j *Job) finishCanceled(cause error) {
+	j.m.mu.Lock()
+	defer j.m.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	j.state = Canceled
+	j.err = cause
+	j.finished = time.Now()
+	j.m.canceled.Add(1)
+	j.bumpLocked()
+	j.m.scheduleExpiryLocked(j)
+}
+
+// scheduleExpiryLocked arms the retention timer for a terminal job.
+func (m *Manager) scheduleExpiryLocked(j *Job) {
+	if m.cfg.ResultTTL < 0 {
+		return
+	}
+	j.expire = time.AfterFunc(m.cfg.ResultTTL, func() {
+		m.mu.Lock()
+		delete(m.jobs, j.id)
+		m.mu.Unlock()
+	})
+}
+
+// report is the progress sink handed to Fn. Progress is coalescing and
+// lossy by design: observers are woken and read the latest snapshot, so
+// a slow subscriber only ever misses intermediate points, never the
+// terminal transition.
+func (j *Job) report(p Progress) {
+	j.m.mu.Lock()
+	j.progress = p
+	j.hasProg = true
+	j.bumpLocked()
+	j.m.mu.Unlock()
+}
+
+// bumpLocked advances the version and wakes every subscriber.
+func (j *Job) bumpLocked() {
+	j.version++
+	for _, ch := range j.subs {
+		select {
+		case ch <- struct{}{}:
+		default: // already signaled; the wake coalesces
+		}
+	}
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+// Kind returns the label the job was submitted under.
+func (j *Job) Kind() string { return j.kind }
+
+// Snapshot returns a consistent copy of the job's observable state.
+func (j *Job) Snapshot() Snapshot {
+	j.m.mu.Lock()
+	defer j.m.mu.Unlock()
+	return Snapshot{
+		ID:          j.id,
+		Kind:        j.kind,
+		State:       j.state,
+		Created:     j.created,
+		Started:     j.started,
+		Finished:    j.finished,
+		Progress:    j.progress,
+		HasProgress: j.hasProg,
+		Version:     j.version,
+		Result:      j.result,
+		Err:         j.err,
+	}
+}
+
+// Subscribe registers a wake channel (capacity 1, coalescing): it
+// receives a signal whenever the job's observable state changes. The
+// returned func unsubscribes; callers pair it with Snapshot reads.
+func (j *Job) Subscribe() (<-chan struct{}, func()) {
+	ch := make(chan struct{}, 1)
+	j.m.mu.Lock()
+	id := j.nextSub
+	j.nextSub++
+	j.subs[id] = ch
+	m := j.m
+	j.m.mu.Unlock()
+	return ch, func() {
+		m.mu.Lock()
+		delete(j.subs, id)
+		m.mu.Unlock()
+	}
+}

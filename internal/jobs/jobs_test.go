@@ -1,0 +1,318 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// wait polls a job until its state turns terminal (or the test deadline).
+func wait(t *testing.T, j *Job) Snapshot {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if s := j.Snapshot(); s.State.Terminal() {
+			return s
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("job %s never reached a terminal state: %v", j.ID(), j.Snapshot().State)
+	return Snapshot{}
+}
+
+func TestLifecycleDone(t *testing.T) {
+	m := NewManager(Config{Workers: 1, Queue: 4})
+	defer m.Close(context.Background())
+
+	j, err := m.Submit("test", func(ctx context.Context, report func(Progress)) (any, error) {
+		report(Progress{Done: 1, Total: 2})
+		report(Progress{Done: 2, Total: 2})
+		return "result", nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := wait(t, j)
+	if s.State != Done || s.Result != "result" || s.Err != nil {
+		t.Fatalf("snapshot = %+v, want Done/result", s)
+	}
+	if !s.HasProgress || s.Progress != (Progress{Done: 2, Total: 2}) {
+		t.Fatalf("progress = %+v, want 2/2", s.Progress)
+	}
+	if s.Started.IsZero() || s.Finished.IsZero() || s.Finished.Before(s.Started) {
+		t.Fatalf("timestamps out of order: %+v", s)
+	}
+	if got, ok := m.Get(j.ID()); !ok || got != j {
+		t.Fatal("Get lost the job")
+	}
+}
+
+func TestLifecycleFailed(t *testing.T) {
+	m := NewManager(Config{Workers: 1, Queue: 4})
+	defer m.Close(context.Background())
+
+	boom := errors.New("boom")
+	j, err := m.Submit("test", func(ctx context.Context, report func(Progress)) (any, error) {
+		return nil, boom
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := wait(t, j); s.State != Failed || !errors.Is(s.Err, boom) {
+		t.Fatalf("snapshot = %+v, want Failed/boom", s)
+	}
+	if st := m.Stats(); st.Failed != 1 {
+		t.Fatalf("stats = %+v, want Failed=1", st)
+	}
+}
+
+func TestQueueFullAndCancelQueued(t *testing.T) {
+	gate := make(chan struct{})
+	m := NewManager(Config{Workers: 1, Queue: 1, Gate: gate})
+	defer m.Close(context.Background())
+
+	fn := func(ctx context.Context, report func(Progress)) (any, error) { return nil, nil }
+	j1, err := m.Submit("a", fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the (gated) worker to pull j1 off the queue so the next
+	// submit deterministically occupies the only queue slot.
+	for i := 0; i < 1000 && m.Stats().Queued != 0; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	j2, err := m.Submit("b", fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Submit("c", fn); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("third submit: %v, want ErrQueueFull", err)
+	}
+	if st := m.Stats(); st.Rejected != 1 || st.Queued != 1 {
+		t.Fatalf("stats = %+v, want Rejected=1 Queued=1", st)
+	}
+
+	// Cancel the queued job before it ever runs.
+	if _, ok := m.Cancel(j2.ID()); !ok {
+		t.Fatal("cancel of queued job reported no-op")
+	}
+	if s := j2.Snapshot(); s.State != Canceled {
+		t.Fatalf("queued job state = %v, want Canceled", s.State)
+	}
+
+	close(gate)
+	if s := wait(t, j1); s.State != Done {
+		t.Fatalf("gated job finished as %v", s.State)
+	}
+	// The worker must drop the canceled j2 without running it.
+	if s := wait(t, j2); s.State != Canceled {
+		t.Fatalf("canceled job reran: %v", s.State)
+	}
+}
+
+func TestCancelRunning(t *testing.T) {
+	m := NewManager(Config{Workers: 1, Queue: 4})
+	defer m.Close(context.Background())
+
+	started := make(chan struct{})
+	j, err := m.Submit("test", func(ctx context.Context, report func(Progress)) (any, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if _, ok := m.Cancel(j.ID()); !ok {
+		t.Fatal("cancel of running job reported no-op")
+	}
+	if s := wait(t, j); s.State != Canceled || !errors.Is(s.Err, context.Canceled) {
+		t.Fatalf("snapshot = %+v, want Canceled", s)
+	}
+	// Terminal jobs are immune to further cancels.
+	if _, ok := m.Cancel(j.ID()); ok {
+		t.Fatal("cancel of terminal job reported effect")
+	}
+}
+
+func TestJobTimeout(t *testing.T) {
+	m := NewManager(Config{Workers: 1, Queue: 4, JobTimeout: 20 * time.Millisecond})
+	defer m.Close(context.Background())
+
+	j, err := m.Submit("slow", func(ctx context.Context, report func(Progress)) (any, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The deadline fired, not a cancel request: that is a Failed job.
+	if s := wait(t, j); s.State != Failed || !errors.Is(s.Err, context.DeadlineExceeded) {
+		t.Fatalf("snapshot = %+v, want Failed/deadline", s)
+	}
+}
+
+func TestResultTTLExpiry(t *testing.T) {
+	m := NewManager(Config{Workers: 1, Queue: 4, ResultTTL: 10 * time.Millisecond})
+	defer m.Close(context.Background())
+
+	j, err := m.Submit("test", func(ctx context.Context, report func(Progress)) (any, error) {
+		return 42, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wait(t, j)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, ok := m.Get(j.ID()); !ok {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("finished job never expired")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestSubscribeWakes(t *testing.T) {
+	m := NewManager(Config{Workers: 1, Queue: 4})
+	defer m.Close(context.Background())
+
+	release := make(chan struct{})
+	j, err := m.Submit("test", func(ctx context.Context, report func(Progress)) (any, error) {
+		report(Progress{Done: 1, Total: 3})
+		<-release
+		return "ok", nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wake, unsub := j.Subscribe()
+	defer unsub()
+
+	sawProgress, sawDone := false, false
+	last := uint64(0)
+	timeout := time.After(10 * time.Second)
+	for !sawDone {
+		s := j.Snapshot()
+		if s.Version != last {
+			last = s.Version
+			if s.HasProgress {
+				sawProgress = true
+				select {
+				case release <- struct{}{}:
+				default:
+				}
+			}
+			if s.State.Terminal() {
+				sawDone = true
+				break
+			}
+		}
+		select {
+		case <-wake:
+		case <-timeout:
+			t.Fatal("subscriber never woke to the terminal state")
+		}
+	}
+	if !sawProgress {
+		t.Fatal("subscriber observed no progress before the terminal state")
+	}
+}
+
+// TestConcurrentSubmitPollCancel exercises the public surface under
+// -race: many goroutines submitting, polling, canceling and subscribing
+// at once.
+func TestConcurrentSubmitPollCancel(t *testing.T) {
+	m := NewManager(Config{Workers: 4, Queue: 64})
+	defer m.Close(context.Background())
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var ids []string
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			j, err := m.Submit("w", func(ctx context.Context, report func(Progress)) (any, error) {
+				for d := 1; d <= 4; d++ {
+					if ctx.Err() != nil {
+						return nil, ctx.Err()
+					}
+					report(Progress{Done: d, Total: 4})
+				}
+				return i, nil
+			})
+			if errors.Is(err, ErrQueueFull) {
+				return
+			}
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			ids = append(ids, j.ID())
+			mu.Unlock()
+			wake, unsub := j.Subscribe()
+			defer unsub()
+			if i%3 == 0 {
+				m.Cancel(j.ID())
+			}
+			for !j.Snapshot().State.Terminal() {
+				select {
+				case <-wake:
+				case <-time.After(5 * time.Second):
+					t.Errorf("job %s stuck", j.ID())
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	st := m.Stats()
+	if st.Completed+st.Failed+st.Canceled != uint64(len(ids)) {
+		t.Fatalf("stats %+v don't account for %d jobs", st, len(ids))
+	}
+}
+
+func TestCloseDrains(t *testing.T) {
+	gate := make(chan struct{})
+	m := NewManager(Config{Workers: 1, Queue: 8, Gate: gate})
+
+	started := make(chan struct{}, 1)
+	running, err := m.Submit("long", func(ctx context.Context, report func(Progress)) (any, error) {
+		started <- struct{}{}
+		time.Sleep(20 * time.Millisecond) // finishes within the grace window
+		return "drained", nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate <- struct{}{} // let the worker start job 1
+	<-started
+	queued, err := m.Submit("never-runs", func(ctx context.Context, report func(Progress)) (any, error) {
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := m.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if s := running.Snapshot(); s.State != Done || s.Result != "drained" {
+		t.Fatalf("running job was not drained: %+v", s)
+	}
+	if s := queued.Snapshot(); s.State != Canceled {
+		t.Fatalf("queued job not canceled on shutdown: %+v", s)
+	}
+	if _, err := m.Submit("late", func(ctx context.Context, report func(Progress)) (any, error) { return nil, nil }); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after close: %v, want ErrClosed", err)
+	}
+}

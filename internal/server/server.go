@@ -19,6 +19,7 @@ import (
 
 	"repro"
 	"repro/internal/api"
+	"repro/internal/jobs"
 	"repro/internal/store"
 	"repro/internal/viz"
 )
@@ -37,6 +38,12 @@ type Config struct {
 	// AccessLog receives the v1 surface's access log; nil disables it.
 	// Panic reports go to the process logger regardless.
 	AccessLog *log.Logger
+	// Jobs tunes the async job subsystem mounted under /api/v1/jobs
+	// (zero value = the jobs package defaults).
+	Jobs jobs.Config
+	// EnableGzip lets API clients negotiate gzip responses via
+	// Accept-Encoding.
+	EnableGzip bool
 }
 
 // The lifecycle defaults: generous for full-scale mining, finite so a
@@ -73,6 +80,8 @@ func NewWithConfig(eng *maprat.Engine, cfg Config) *Server {
 		RequestTimeout: cfg.RequestTimeout,
 		MaxBatch:       cfg.MaxBatch,
 		Logger:         cfg.AccessLog,
+		Jobs:           cfg.Jobs,
+		EnableGzip:     cfg.EnableGzip,
 	})
 	s.mux.HandleFunc("/", s.handleIndex)
 	s.mux.HandleFunc("/explain", s.handleExplain)
@@ -81,8 +90,10 @@ func NewWithConfig(eng *maprat.Engine, cfg Config) *Server {
 	s.mux.HandleFunc("/browse", s.handleBrowse)
 	s.mux.Handle("/api/v1/", s.api)
 	// /api/explain predates the versioned surface; it keeps its original
-	// JSON shape as a deprecated alias for one release.
-	s.mux.HandleFunc("/api/explain", s.handleAPIExplain)
+	// JSON shape as a deprecated alias for one release. Mounting it
+	// through the v1 middleware stack means its traffic shows up in the
+	// /statsz "api" latency/status counters like every v1 endpoint.
+	s.mux.Handle("/api/explain", s.api.Instrument("legacy_explain", http.HandlerFunc(s.handleAPIExplain)))
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/statsz", s.handleStats)
 	return s
@@ -119,7 +130,14 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	}
 	grace, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownGrace)
 	defer cancel()
-	if err := srv.Shutdown(grace); err != nil {
+	err := srv.Shutdown(grace)
+	// Drain the job subsystem too: queued jobs are canceled, running
+	// jobs get the rest of the grace window to finish before their
+	// contexts are cut.
+	if cerr := s.api.Close(grace); err == nil {
+		err = cerr
+	}
+	if err != nil {
 		return err
 	}
 	<-errc // always http.ErrServerClosed after a Shutdown
@@ -163,10 +181,12 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		} `json:"result_cache"`
 		Mines uint64                          `json:"mines"`
 		API   map[string]api.EndpointSnapshot `json:"api"`
+		Jobs  jobs.Stats                      `json:"jobs"`
 	}{
 		PlanCache: s.eng.PlanStats(),
 		Mines:     s.eng.MineCount(),
 		API:       s.api.MetricsSnapshot(),
+		Jobs:      s.api.JobStats(),
 	}
 	if c := s.eng.Store().Cache(); c != nil {
 		resp.Result.Hits, resp.Result.Misses = c.Stats()

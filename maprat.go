@@ -21,9 +21,12 @@ package maprat
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -115,6 +118,9 @@ type Engine struct {
 	// mines counts full mining-pipeline executions (cache misses that also
 	// lost the singleflight race are not counted — they never mined).
 	mines atomic.Uint64
+
+	fpOnce sync.Once
+	fp     uint64
 }
 
 // Open indexes a dataset and returns the engine. A nil opts uses
@@ -426,6 +432,44 @@ func (e *Engine) PlanStats() store.PlanStats {
 // has completed (failed resolves and cancelled mines are not counted) — a
 // monitoring hook for observing cache and singleflight effectiveness.
 func (e *Engine) MineCount() uint64 { return e.mines.Load() }
+
+// Fingerprint returns a stable 64-bit hash identifying the opened
+// dataset: the entity counts, the rating time range, and a strided
+// sample of the rating log itself. Two engines opened over the same data
+// agree on it; any edit to the log (new ratings, different scores,
+// reordered load) almost surely changes it. Seeded mining is a pure
+// function of (dataset, request), so the HTTP layer folds the
+// fingerprint into its ETags: a tag stays valid exactly as long as the
+// data underneath it does.
+func (e *Engine) Fingerprint() uint64 {
+	e.fpOnce.Do(func() {
+		ds := e.st.Dataset()
+		h := fnv.New64a()
+		var buf [8]byte
+		put := func(v uint64) {
+			binary.LittleEndian.PutUint64(buf[:], v)
+			h.Write(buf[:])
+		}
+		put(uint64(len(ds.Users)))
+		put(uint64(len(ds.Items)))
+		put(uint64(len(ds.Ratings)))
+		lo, hi := e.st.TimeRange()
+		put(uint64(lo))
+		put(uint64(hi))
+		// A strided sample bounds the hash to ~4K ratings regardless of
+		// scale while still touching the whole log.
+		stride := len(ds.Ratings)/4096 + 1
+		for i := 0; i < len(ds.Ratings); i += stride {
+			r := &ds.Ratings[i]
+			put(uint64(r.UserID))
+			put(uint64(r.ItemID))
+			put(uint64(r.Score))
+			put(uint64(r.Unix))
+		}
+		e.fp = h.Sum64()
+	})
+	return e.fp
+}
 
 // AdaptCubeConfig scales a cube config's MinSupport down for small tuple
 // sets so sparse queries still produce candidates — the adaptation every

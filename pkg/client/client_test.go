@@ -1,0 +1,278 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/server"
+)
+
+var (
+	tsOnce sync.Once
+	tsMemo *httptest.Server
+)
+
+// testServer mounts the full MapRat server (HTML + v1 + jobs) over one
+// shared small engine.
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	tsOnce.Do(func() {
+		ds, err := maprat.Generate(maprat.SmallGenConfig())
+		if err != nil {
+			panic(err)
+		}
+		eng, err := maprat.Open(ds, nil)
+		if err != nil {
+			panic(err)
+		}
+		tsMemo = httptest.NewServer(server.New(eng))
+	})
+	return tsMemo
+}
+
+func testClient(t *testing.T, opts ...Option) *Client {
+	t.Helper()
+	c, err := New(testServer(t).URL, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func intp(v int) *int { return &v }
+
+func TestNewValidatesBaseURL(t *testing.T) {
+	for _, bad := range []string{"", "not a url", "/just/a/path"} {
+		if _, err := New(bad); err == nil {
+			t.Errorf("New(%q) accepted", bad)
+		}
+	}
+	c, err := New("http://example.test:8080/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.url("/api/v1/browse"); got != "http://example.test:8080/api/v1/browse" {
+		t.Fatalf("url joined to %q", got)
+	}
+}
+
+func TestSyncRoundTrips(t *testing.T) {
+	c := testClient(t)
+	ctx := context.Background()
+	q := `movie:"Toy Story"`
+
+	ex, err := c.Explain(ctx, Params{Q: q, K: intp(2)})
+	if err != nil {
+		t.Fatalf("Explain: %v", err)
+	}
+	if ex.NumRatings == 0 || len(ex.Tasks) != 2 {
+		t.Fatalf("explain payload: %+v", ex)
+	}
+	key := ex.Tasks[0].Groups[0].Key
+
+	g, err := c.Group(ctx, Params{Q: q, Key: key})
+	if err != nil {
+		t.Fatalf("Group: %v", err)
+	}
+	if g.Group.Key != key || g.Group.Count == 0 {
+		t.Fatalf("group payload: %+v", g.Group)
+	}
+
+	if _, err := c.Refine(ctx, Params{Q: q, Key: key}); err != nil {
+		t.Fatalf("Refine: %v", err)
+	}
+	if _, err := c.Drill(ctx, Params{Q: q, Key: key, K: intp(2)}); err != nil {
+		t.Fatalf("Drill: %v", err)
+	}
+
+	from, to := 1999, 2000
+	ev, err := c.Evolution(ctx, Params{Q: q, From: &from, To: &to, Tasks: []string{"sm"}})
+	if err != nil {
+		t.Fatalf("Evolution: %v", err)
+	}
+	if len(ev.Points) == 0 {
+		t.Fatal("evolution returned no points")
+	}
+
+	b, err := c.Browse(ctx)
+	if err != nil {
+		t.Fatalf("Browse: %v", err)
+	}
+	if len(b.States) == 0 {
+		t.Fatal("browse returned no states")
+	}
+
+	batch, err := c.Batch(ctx, []Params{{Q: q, K: intp(2)}, {Q: `movie:"No Such Film Exists"`}})
+	if err != nil {
+		t.Fatalf("Batch: %v", err)
+	}
+	if len(batch.Results) != 2 || batch.Results[0].Explain == nil || batch.Results[1].Error == nil {
+		t.Fatalf("batch payload: %+v", batch.Results)
+	}
+}
+
+func TestAPIErrorDecoding(t *testing.T) {
+	c := testClient(t)
+	_, err := c.Explain(context.Background(), Params{Q: ""})
+	var ae *APIError
+	if !asAPIError(err, &ae) {
+		t.Fatalf("error type %T: %v", err, err)
+	}
+	if ae.Status != http.StatusBadRequest || ae.Code != "bad_request" || ae.Message == "" {
+		t.Fatalf("api error: %+v", ae)
+	}
+	if ae.Temporary() {
+		t.Fatal("bad_request must not be retried")
+	}
+}
+
+func asAPIError(err error, out **APIError) bool {
+	for ; err != nil; err = unwrap(err) {
+		if ae, ok := err.(*APIError); ok {
+			*out = ae
+			return true
+		}
+	}
+	return false
+}
+
+func unwrap(err error) error {
+	u, ok := err.(interface{ Unwrap() error })
+	if !ok {
+		return nil
+	}
+	return u.Unwrap()
+}
+
+// TestJobSubmitWaitStream drives the full async lifecycle through the
+// SDK: submit, stream progress over SSE, and compare the job's result
+// with the synchronous endpoint.
+func TestJobSubmitWaitStream(t *testing.T) {
+	c := testClient(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// Knobs no other test uses, so the solver runs and emits progress.
+	p := Params{Q: `genre:Drama`, K: intp(2), Seed: int64p(77), Restarts: intp(18)}
+	job, err := c.SubmitJob(ctx, "explain", p)
+	if err != nil {
+		t.Fatalf("SubmitJob: %v", err)
+	}
+	if job.ID == "" {
+		t.Fatalf("submit status: %+v", job)
+	}
+
+	var progress int
+	st, err := c.StreamJob(ctx, job.ID, func(ev JobEvent) error {
+		if pr := ev.Progress(); pr != nil {
+			progress++
+			if pr.Total != 18 {
+				t.Errorf("progress total = %d, want 18", pr.Total)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("StreamJob: %v", err)
+	}
+	if st.State != "done" || len(st.Result) == 0 {
+		t.Fatalf("terminal status: %+v", st)
+	}
+	if progress < 1 {
+		t.Fatal("stream delivered no progress events")
+	}
+
+	var jobEx ExplainResponse
+	if err := json.Unmarshal(st.Result, &jobEx); err != nil {
+		t.Fatalf("result decode: %v", err)
+	}
+	syncEx, err := c.Explain(ctx, p)
+	if err != nil {
+		t.Fatalf("sync Explain: %v", err)
+	}
+	jobEx.ElapsedMS, syncEx.ElapsedMS = 0, 0
+	jobEx.FromCache, syncEx.FromCache = false, false
+	a, _ := json.Marshal(&jobEx)
+	b, _ := json.Marshal(syncEx)
+	if string(a) != string(b) {
+		t.Errorf("job result diverges from sync explain:\njob:  %s\nsync: %s", a, b)
+	}
+
+	// WaitJob on an already-terminal job returns immediately.
+	st2, err := c.WaitJob(ctx, job.ID)
+	if err != nil || st2.State != "done" {
+		t.Fatalf("WaitJob: %v %+v", err, st2)
+	}
+
+	// Canceling a terminal job is an idempotent no-op.
+	st3, err := c.CancelJob(ctx, job.ID)
+	if err != nil || st3.State != "done" {
+		t.Fatalf("CancelJob on terminal job: %v %+v", err, st3)
+	}
+}
+
+func int64p(v int64) *int64 { return &v }
+
+func TestGetJobNotFound(t *testing.T) {
+	c := testClient(t)
+	_, err := c.GetJob(context.Background(), "job-424242")
+	var ae *APIError
+	if !asAPIError(err, &ae) || ae.Status != http.StatusNotFound || ae.Code != "job_not_found" {
+		t.Fatalf("got %v, want 404 job_not_found", err)
+	}
+}
+
+// TestRetryBackoff pins the retry loop: transient statuses are retried
+// within the budget, and the server's Retry-After hint is honored.
+func TestRetryBackoff(t *testing.T) {
+	var mu sync.Mutex
+	fails := 2
+	hits := 0
+	fake := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		defer mu.Unlock()
+		hits++
+		if hits <= fails {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":{"code":"queue_full","message":"full"}}`))
+			return
+		}
+		w.Write([]byte(`{"id":"job-000001","op":"explain","state":"queued","created":"2026-01-01T00:00:00Z"}`))
+	}))
+	defer fake.Close()
+
+	c, err := New(fake.URL, WithRetry(3, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.SubmitJob(context.Background(), "explain", Params{Q: "x"})
+	if err != nil {
+		t.Fatalf("retries exhausted: %v", err)
+	}
+	if st.ID != "job-000001" || hits != 3 {
+		t.Fatalf("status %+v after %d hits", st, hits)
+	}
+
+	// With the budget too small, the terminal failure surfaces.
+	mu.Lock()
+	hits, fails = 0, 99
+	mu.Unlock()
+	c2, _ := New(fake.URL, WithRetry(2, time.Millisecond))
+	_, err = c2.SubmitJob(context.Background(), "explain", Params{Q: "x"})
+	var ae *APIError
+	if !asAPIError(err, &ae) || ae.Status != http.StatusTooManyRequests {
+		t.Fatalf("got %v, want 429 after retries", err)
+	}
+	mu.Lock()
+	if hits != 2 {
+		t.Fatalf("hits = %d, want exactly the retry budget", hits)
+	}
+	mu.Unlock()
+}

@@ -1,0 +1,122 @@
+package client
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strings"
+)
+
+// JobEvent is one Server-Sent Event from /api/v1/jobs/{id}/events.
+type JobEvent struct {
+	// Type is "state", "progress", or a terminal "done"/"failed"/
+	// "canceled".
+	Type string
+	// Data is the raw JSON payload: a JobStatus for state and terminal
+	// events, a JobProgress for progress events.
+	Data json.RawMessage
+}
+
+// Progress decodes a progress event's payload (nil for other types).
+func (ev JobEvent) Progress() *JobProgress {
+	if ev.Type != "progress" {
+		return nil
+	}
+	var p JobProgress
+	if err := json.Unmarshal(ev.Data, &p); err != nil {
+		return nil
+	}
+	return &p
+}
+
+// Status decodes a state/terminal event's payload (nil for progress).
+func (ev JobEvent) Status() *JobStatus {
+	if ev.Type == "progress" || ev.Type == "" {
+		return nil
+	}
+	var st JobStatus
+	if err := json.Unmarshal(ev.Data, &st); err != nil {
+		return nil
+	}
+	return &st
+}
+
+// Terminal reports whether the event ends the stream.
+func (ev JobEvent) Terminal() bool { return Terminal(ev.Type) }
+
+// StreamJob consumes a job's SSE progress stream, invoking fn for every
+// event until the terminal event arrives, the callback returns an error,
+// or ctx ends. On a clean terminal event it then fetches and returns the
+// full job status (with the result document) via GetJob. The stream
+// itself is not retried — a caller that loses it mid-job falls back to
+// WaitJob, which is what StreamJob does if the connection drops after
+// the job was observed running.
+func (c *Client) StreamJob(ctx context.Context, id string, fn func(JobEvent) error) (*JobStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.url("/api/v1/jobs/"+url.PathEscape(id)+"/events"), nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiErrorFrom(resp)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/event-stream") {
+		return nil, fmt.Errorf("client: job events answered %q, want text/event-stream", ct)
+	}
+
+	terminal := false
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var ev JobEvent
+	flush := func() error {
+		if ev.Type == "" {
+			ev = JobEvent{}
+			return nil
+		}
+		e := ev
+		ev = JobEvent{}
+		if e.Terminal() {
+			terminal = true
+		}
+		if fn != nil {
+			return fn(e)
+		}
+		return nil
+	}
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			if terminal {
+				return c.GetJob(ctx, id)
+			}
+		case strings.HasPrefix(line, "event:"):
+			ev.Type = strings.TrimSpace(strings.TrimPrefix(line, "event:"))
+		case strings.HasPrefix(line, "data:"):
+			ev.Data = json.RawMessage(strings.TrimSpace(strings.TrimPrefix(line, "data:")))
+		}
+		// id: and comment lines are ignored.
+	}
+	if err := sc.Err(); err != nil && ctx.Err() == nil {
+		// The connection dropped mid-stream; the job is still running
+		// server-side, so fall back to polling.
+		return c.WaitJob(ctx, id)
+	}
+	if ctx.Err() != nil {
+		return nil, ctx.Err()
+	}
+	// EOF without a terminal event (server shut the stream down): poll.
+	return c.WaitJob(ctx, id)
+}
