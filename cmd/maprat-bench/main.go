@@ -61,7 +61,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("engine opened (indexes + global cube precompute) in %s",
+	log.Printf("engine opened (join + indexes; global cube is lazy) in %s",
 		time.Since(start).Round(time.Millisecond))
 
 	// The experiment list, order and IDs come from the one registry in

@@ -6,11 +6,17 @@
 //	maprat-gen -out ./data            # full 1M-rating scale
 //	maprat-gen -out ./data -scale small
 //	maprat-gen -out ./data -users 2000 -movies 800 -ratings 150000
+//	maprat-gen -snap ./data.msnap -scale small   # columnar snapshot
+//
+// -out and -snap may be combined; at least one is required. A snapshot
+// records the generator's (config, seed) provenance hash in its header.
 package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"repro"
@@ -21,7 +27,8 @@ func main() {
 	log.SetPrefix("maprat-gen: ")
 
 	var (
-		out     = flag.String("out", "", "output directory (required)")
+		out     = flag.String("out", "", "output directory (MovieLens text format)")
+		snap    = flag.String("snap", "", "output snapshot file (.msnap columnar format)")
 		scale   = flag.String("scale", "full", "preset scale: small|full")
 		seed    = flag.Int64("seed", 1, "generator seed")
 		users   = flag.Int("users", 0, "override user count")
@@ -29,8 +36,8 @@ func main() {
 		ratings = flag.Int("ratings", 0, "override target rating count")
 	)
 	flag.Parse()
-	if *out == "" {
-		log.Fatal("-out is required")
+	if *out == "" && *snap == "" {
+		log.Fatal("at least one of -out / -snap is required")
 	}
 
 	cfg := maprat.DefaultGenConfig()
@@ -56,8 +63,29 @@ func main() {
 	stats := ds.Stats()
 	log.Printf("generated %d ratings / %d movies / %d users in %s",
 		stats.Ratings, stats.Items, stats.Users, time.Since(start).Round(time.Millisecond))
-	if err := maprat.WriteDir(*out, ds); err != nil {
-		log.Fatal(err)
+	if *out != "" {
+		if err := maprat.WriteDir(*out, ds); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", *out)
 	}
-	log.Printf("wrote %s", *out)
+	if *snap != "" {
+		meta := maprat.SnapshotMeta{
+			Source:     "generated",
+			Provenance: cfg.Provenance(),
+			Extra: map[string]string{
+				"generator": "maprat-gen",
+				"scale":     *scale,
+				"seed":      fmt.Sprint(cfg.Seed),
+			},
+		}
+		if err := maprat.WriteSnapshot(*snap, ds, meta); err != nil {
+			log.Fatal(err)
+		}
+		if fi, err := os.Stat(*snap); err == nil {
+			log.Printf("wrote %s (%d bytes)", *snap, fi.Size())
+		} else {
+			log.Printf("wrote %s", *snap)
+		}
+	}
 }

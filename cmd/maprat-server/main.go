@@ -5,13 +5,24 @@
 //	maprat-server -addr :8080            # synthetic small dataset
 //	maprat-server -scale full            # MovieLens-1M-scale synthetic data
 //	maprat-server -data /path/to/ml-1m   # real MovieLens 1M files
+//
+// -snapshot mounts a .msnap columnar snapshot (memory-mapped, near-instant
+// open) and repeats to serve several datasets from one process; API
+// requests pick one via ?dataset=<name> or the X-Maprat-Dataset header
+// (the name is the snapshot's file base, the first mount is the default):
+//
+//	maprat-server -snapshot a.msnap -snapshot b.msnap
 package main
 
 import (
 	"context"
 	"flag"
+	"fmt"
 	"log"
+	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -19,6 +30,12 @@ import (
 	"repro/internal/jobs"
 	"repro/internal/server"
 )
+
+// multiFlag collects a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
 
 func main() {
 	log.SetFlags(0)
@@ -39,37 +56,21 @@ func main() {
 		jobTimeout = flag.Duration("job-timeout", 0, "per-job mining timeout (0 = default)")
 		gzipOn     = flag.Bool("gzip", true, "offer gzip-compressed /api/v1 responses to clients that accept it")
 	)
+	var snapshots multiFlag
+	flag.Var(&snapshots, "snapshot", "mount a .msnap snapshot (repeatable; first mount is the default dataset)")
 	flag.Parse()
 
-	start := time.Now()
-	var (
-		ds  *maprat.Dataset
-		err error
-	)
-	switch {
-	case *dataDir != "":
-		log.Printf("loading %s ...", *dataDir)
-		ds, err = maprat.LoadDir(*dataDir)
-	case *scale == "full":
-		log.Print("generating MovieLens-1M-scale synthetic data ...")
-		cfg := maprat.DefaultGenConfig()
-		cfg.Seed = *seed
-		ds, err = maprat.Generate(cfg)
-	default:
-		cfg := maprat.SmallGenConfig()
-		cfg.Seed = *seed
-		ds, err = maprat.Generate(cfg)
-	}
-	if err != nil {
+	reg := maprat.NewRegistry()
+	defer reg.Close()
+	if err := mountDatasets(reg, *dataDir, snapshots, *scale, *seed); err != nil {
 		log.Fatal(err)
 	}
-	eng, err := maprat.Open(ds, nil)
-	if err != nil {
-		log.Fatal(err)
+	for _, m := range reg.Mounts() {
+		st := m.Engine.Dataset().Stats()
+		log.Printf("dataset %q (%s) ready in %s: %d ratings, %d movies, %d reviewers, fingerprint %016x",
+			m.Name, m.Info.Source, m.Info.OpenDuration.Round(time.Millisecond),
+			st.Ratings, st.Items, st.Users, m.Engine.Fingerprint())
 	}
-	stats := ds.Stats()
-	log.Printf("ready in %s: %d ratings, %d movies, %d reviewers",
-		time.Since(start).Round(time.Millisecond), stats.Ratings, stats.Items, stats.Users)
 	log.Printf("listening on %s", *addr)
 
 	// SIGINT/SIGTERM drain in-flight requests before exiting; a second
@@ -92,9 +93,84 @@ func main() {
 	if *accessLog {
 		cfg.AccessLog = log.Default()
 	}
-	srv := server.NewWithConfig(eng, cfg)
+	srv := server.NewMulti(reg, cfg)
 	if err := srv.ListenAndServe(ctx, *addr); err != nil {
 		log.Fatal(err)
 	}
 	log.Print("shut down cleanly")
+}
+
+// mountDatasets opens every requested dataset into reg: the text
+// directory first (so -data keeps its place as the default), then each
+// snapshot in flag order, falling back to synthetic data only when
+// nothing else was asked for.
+func mountDatasets(reg *maprat.Registry, dataDir string, snapshots []string, scale string, seed int64) error {
+	if dataDir != "" {
+		log.Printf("loading %s ...", dataDir)
+		start := time.Now()
+		ds, err := maprat.LoadDir(dataDir)
+		if err != nil {
+			return err
+		}
+		eng, err := maprat.Open(ds, nil)
+		if err != nil {
+			return err
+		}
+		info := maprat.DatasetInfo{Source: "text", Path: dataDir, OpenDuration: time.Since(start)}
+		if err := reg.Add(mountName(reg, dataDir), eng, info); err != nil {
+			return err
+		}
+	}
+	for _, path := range snapshots {
+		start := time.Now()
+		eng, err := maprat.OpenSnapshot(path, nil)
+		if err != nil {
+			return fmt.Errorf("snapshot %s: %w", path, err)
+		}
+		info := maprat.DatasetInfo{Source: "snapshot", Path: path, OpenDuration: time.Since(start)}
+		if fi, err := os.Stat(path); err == nil {
+			info.FileSize = fi.Size()
+		}
+		if err := reg.Add(mountName(reg, path), eng, info); err != nil {
+			eng.Close()
+			return err
+		}
+	}
+	if reg.Len() > 0 {
+		return nil
+	}
+	start := time.Now()
+	cfg := maprat.SmallGenConfig()
+	if scale == "full" {
+		log.Print("generating MovieLens-1M-scale synthetic data ...")
+		cfg = maprat.DefaultGenConfig()
+	}
+	cfg.Seed = seed
+	ds, err := maprat.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	eng, err := maprat.Open(ds, nil)
+	if err != nil {
+		return err
+	}
+	info := maprat.DatasetInfo{Source: "generated", OpenDuration: time.Since(start)}
+	return reg.Add("default", eng, info)
+}
+
+// mountName derives a mount name from a path: the file base without the
+// .msnap extension, suffixed with -2, -3, ... on collision so mounting
+// two same-named snapshots from different directories still works.
+func mountName(reg *maprat.Registry, path string) string {
+	base := strings.TrimSuffix(filepath.Base(filepath.Clean(path)), ".msnap")
+	if base == "" || base == "." || base == string(filepath.Separator) {
+		base = "dataset"
+	}
+	name := base
+	for i := 2; ; i++ {
+		if _, taken := reg.Lookup(name); !taken {
+			return name
+		}
+		name = fmt.Sprintf("%s-%d", base, i)
+	}
 }

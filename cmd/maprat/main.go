@@ -16,6 +16,11 @@
 //
 //	maprat -server http://localhost:8080 -q 'movie:"Toy Story"'
 //	maprat -server http://localhost:8080 -async -q 'genre:Drama' -k 4
+//
+// The snap subcommand manages columnar dataset snapshots:
+//
+//	maprat snap pack ./ml-1m ./ml-1m.msnap   # pack a MovieLens directory
+//	maprat snap info ./ml-1m.msnap           # print header and sections
 package main
 
 import (
@@ -36,6 +41,13 @@ func jsonUnmarshal(data []byte, v any) error { return json.Unmarshal(data, v) }
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("maprat: ")
+
+	// The snap subcommand family has positional arguments, so it is
+	// dispatched before the main flag set parses.
+	if len(os.Args) > 1 && os.Args[1] == "snap" {
+		runSnap(os.Args[2:])
+		return
+	}
 
 	var (
 		dataDir   = flag.String("data", "", "MovieLens-format data directory (default: generate synthetic data)")

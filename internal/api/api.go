@@ -5,9 +5,11 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"log"
 	"net/http"
 	"runtime/debug"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -64,7 +66,7 @@ const (
 // into a buffer before touching the response headers, so an encode
 // failure still produces a clean 500.
 type Handler struct {
-	eng     *maprat.Engine
+	reg     *maprat.Registry
 	cfg     Config
 	mux     *http.ServeMux
 	metrics map[string]*endpointMetrics
@@ -72,8 +74,23 @@ type Handler struct {
 	jobs    *jobs.Manager
 }
 
-// New mounts the v1 endpoints over eng.
+// New mounts the v1 endpoints over a single engine — the compatibility
+// constructor for servers that predate multi-dataset serving. The engine
+// becomes the sole (default) mount, so requests that name no dataset
+// behave exactly as before.
 func New(eng *maprat.Engine, cfg Config) *Handler {
+	return NewMulti(maprat.NewSingleRegistry("default", eng, maprat.DatasetInfo{}), cfg)
+}
+
+// NewMulti mounts the v1 endpoints over a registry of datasets. Every
+// mining endpoint selects its dataset per request — an explicit
+// "dataset" parameter (query or JSON body), the X-Maprat-Dataset header,
+// or the registry's default mount — and an unknown name answers the
+// dataset_not_found envelope with 404.
+func NewMulti(reg *maprat.Registry, cfg Config) *Handler {
+	if reg == nil || reg.Len() == 0 {
+		panic("api: NewMulti needs a registry with at least one mount")
+	}
 	if cfg.RequestTimeout == 0 {
 		cfg.RequestTimeout = DefaultRequestTimeout
 	}
@@ -83,7 +100,7 @@ func New(eng *maprat.Engine, cfg Config) *Handler {
 	if cfg.BatchWorkers <= 0 {
 		cfg.BatchWorkers = DefaultBatchWorkers
 	}
-	h := &Handler{eng: eng, cfg: cfg, mux: http.NewServeMux(), metrics: map[string]*endpointMetrics{}}
+	h := &Handler{reg: reg, cfg: cfg, mux: http.NewServeMux(), metrics: map[string]*endpointMetrics{}}
 	h.jobs = jobs.NewManager(cfg.Jobs)
 	h.mux.Handle("/api/v1/explain", h.wrap("explain", h.handleExplain))
 	h.mux.Handle("/api/v1/group", h.wrap("group", h.handleGroup))
@@ -118,6 +135,49 @@ func (h *Handler) Close(ctx context.Context) error { return h.jobs.Close(ctx) }
 
 // JobStats exposes the job subsystem's gauges and counters for /statsz.
 func (h *Handler) JobStats() jobs.Stats { return h.jobs.Stats() }
+
+// Registry exposes the mounted datasets (for /statsz and tests).
+func (h *Handler) Registry() *maprat.Registry { return h.reg }
+
+// datasetName resolves which dataset a request addresses, in precedence
+// order: an explicit value decoded from the body/params, the ?dataset=
+// query parameter, then the X-Maprat-Dataset header. "" means "the
+// default mount".
+func datasetName(r *http.Request, explicit string) string {
+	if explicit != "" {
+		return explicit
+	}
+	if q := r.URL.Query().Get("dataset"); q != "" {
+		return q
+	}
+	return r.Header.Get("X-Maprat-Dataset")
+}
+
+// lookupEngine resolves a dataset name against the registry.
+func (h *Handler) lookupEngine(name string) (*maprat.Engine, bool) {
+	m, ok := h.reg.Lookup(name)
+	if !ok {
+		return nil, false
+	}
+	return m.Engine, true
+}
+
+// resolveEngine picks the engine a request mines against, answering the
+// dataset_not_found envelope itself when the named dataset is not
+// mounted.
+func (h *Handler) resolveEngine(w http.ResponseWriter, r *http.Request, explicit string) (*maprat.Engine, bool) {
+	name := datasetName(r, explicit)
+	eng, ok := h.lookupEngine(name)
+	if !ok {
+		writeEnvelope(w, CodeDatasetNotFound, datasetNotFoundMsg(name, h.reg.Names()))
+		return nil, false
+	}
+	return eng, true
+}
+
+func datasetNotFoundMsg(name string, mounted []string) string {
+	return fmt.Sprintf("no dataset %q (mounted: %s)", name, strings.Join(mounted, ", "))
+}
 
 // requestContext derives the mining context for one request.
 func (h *Handler) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
@@ -168,9 +228,13 @@ func (h *Handler) handleExplain(w http.ResponseWriter, r *http.Request) {
 		decodeFail(w, err)
 		return
 	}
+	eng, ok := h.resolveEngine(w, r, p.Dataset)
+	if !ok {
+		return
+	}
 	ctx, cancel := h.requestContext(r)
 	defer cancel()
-	ex, err := h.eng.ExplainContext(ctx, req)
+	ex, err := eng.ExplainContext(ctx, req)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -193,9 +257,13 @@ func (h *Handler) handleGroup(w http.ResponseWriter, r *http.Request) {
 		decodeFail(w, err)
 		return
 	}
+	eng, ok := h.resolveEngine(w, r, p.Dataset)
+	if !ok {
+		return
+	}
 	ctx, cancel := h.requestContext(r)
 	defer cancel()
-	ge, err := h.eng.ExploreFullContext(ctx, req.Query, key, buckets, limit)
+	ge, err := eng.ExploreFullContext(ctx, req.Query, key, buckets, limit)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -213,9 +281,13 @@ func (h *Handler) handleRefine(w http.ResponseWriter, r *http.Request) {
 		decodeFail(w, err)
 		return
 	}
+	eng, ok := h.resolveEngine(w, r, p.Dataset)
+	if !ok {
+		return
+	}
 	ctx, cancel := h.requestContext(r)
 	defer cancel()
-	refs, err := h.eng.RefineGroupContext(ctx, req.Query, key, limit)
+	refs, err := eng.RefineGroupContext(ctx, req.Query, key, limit)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -237,9 +309,13 @@ func (h *Handler) handleDrill(w http.ResponseWriter, r *http.Request) {
 		decodeFail(w, err)
 		return
 	}
+	eng, ok := h.resolveEngine(w, r, p.Dataset)
+	if !ok {
+		return
+	}
 	ctx, cancel := h.requestContext(r)
 	defer cancel()
-	tr, err := h.eng.DrillMineContext(ctx, req.Query, key, task, req.Settings)
+	tr, err := eng.DrillMineContext(ctx, req.Query, key, task, req.Settings)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -284,9 +360,13 @@ func (h *Handler) handleEvolution(w http.ResponseWriter, r *http.Request) {
 		decodeFail(w, err)
 		return
 	}
+	eng, ok := h.resolveEngine(w, r, p.Dataset)
+	if !ok {
+		return
+	}
 	ctx, cancel := h.requestContext(r)
 	defer cancel()
-	points, err := h.eng.EvolutionContext(ctx, req)
+	points, err := eng.EvolutionContext(ctx, req)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -301,7 +381,11 @@ func (h *Handler) handleBrowse(w http.ResponseWriter, r *http.Request) {
 		methodNotAllowed(w, "GET, POST", "method "+r.Method+" not allowed (use GET or POST)")
 		return
 	}
-	states := h.eng.BrowseStates()
+	eng, ok := h.resolveEngine(w, r, "")
+	if !ok {
+		return
+	}
+	states := eng.BrowseStates()
 	if states == nil {
 		writeEnvelope(w, CodeInternal, "browse mode needs the precomputed global cube")
 		return
@@ -350,8 +434,18 @@ func (h *Handler) handleBatch(w http.ResponseWriter, r *http.Request) {
 			results[i] = BatchResult{Error: &ErrorBody{Code: CodeBadRequest, Message: err.Error()}}
 			continue
 		}
+		// Each element picks its own dataset; the request-level query /
+		// header act as the default for elements that name none.
+		eng, ok := h.lookupEngine(datasetName(r, p.Dataset))
+		if !ok {
+			results[i] = BatchResult{Error: &ErrorBody{
+				Code:    CodeDatasetNotFound,
+				Message: datasetNotFoundMsg(datasetName(r, p.Dataset), h.reg.Names()),
+			}}
+			continue
+		}
 		wg.Add(1)
-		go func(i int, req maprat.ExplainRequest) {
+		go func(i int, req maprat.ExplainRequest, eng *maprat.Engine) {
 			defer wg.Done()
 			// The recovery middleware only guards the handler's own
 			// goroutine; an unrecovered panic here would kill the whole
@@ -364,13 +458,13 @@ func (h *Handler) handleBatch(w http.ResponseWriter, r *http.Request) {
 			}()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			ex, err := h.eng.ExplainContext(ctx, req)
+			ex, err := eng.ExplainContext(ctx, req)
 			if err != nil {
 				results[i] = BatchResult{Error: errorBodyFor(err)}
 				return
 			}
 			results[i] = BatchResult{Explain: explainDTO(ex)}
-		}(i, req)
+		}(i, req, eng)
 	}
 	wg.Wait()
 	WriteJSON(w, &BatchResponse{Results: results})

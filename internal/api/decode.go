@@ -61,6 +61,10 @@ type Params struct {
 	// Geo is "" or "on" for the demo's state-anchored groups, "off" for
 	// the framework mode (groups without a geo-condition).
 	Geo string `json:"geo,omitempty"`
+	// Dataset selects the mounted dataset on a multi-dataset server
+	// ("" = the default mount). A GET request may pass ?dataset= or the
+	// X-Maprat-Dataset header instead.
+	Dataset string `json:"dataset,omitempty"`
 
 	// Key identifies the group for /group, /refine and /drill, in the
 	// comma-separated descriptor form, e.g. "gender=male,state=CA".
@@ -149,6 +153,7 @@ func paramsFromQuery(r *http.Request) (Params, error) {
 		Geo:     q.Get("geo"),
 		Key:     q.Get("key"),
 		Task:    q.Get("task"),
+		Dataset: q.Get("dataset"),
 	}
 	if v := q.Get("tasks"); v != "" {
 		p.Tasks = strings.Split(v, ",")

@@ -36,6 +36,9 @@ const (
 	// never submitted, or its result retention expired.
 	CodeQueueFull   ErrorCode = "queue_full"
 	CodeJobNotFound ErrorCode = "job_not_found"
+	// Multi-dataset serving: the request named a dataset that is not
+	// mounted on this server.
+	CodeDatasetNotFound ErrorCode = "dataset_not_found"
 )
 
 // ErrorBody is the inner error object.
@@ -75,7 +78,7 @@ func (c ErrorCode) HTTPStatus() int {
 	switch c {
 	case CodeBadRequest:
 		return http.StatusBadRequest
-	case CodeNoItems, CodeNoRatings, CodeNoGroup, CodeNotFound, CodeJobNotFound:
+	case CodeNoItems, CodeNoRatings, CodeNoGroup, CodeNotFound, CodeJobNotFound, CodeDatasetNotFound:
 		return http.StatusNotFound
 	case CodeQueueFull:
 		return http.StatusTooManyRequests

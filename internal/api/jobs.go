@@ -81,10 +81,12 @@ func (h *Handler) jobStatusDTO(s jobs.Snapshot, withResult bool) *JobStatus {
 
 // jobFn validates a submit request eagerly — bad parameters must fail
 // the POST with 400, not surface minutes later as a failed job — and
-// returns the closure the worker pool executes. The progress callback is
-// threaded into Settings.Progress, so restart completions inside
-// core.SolveRHE surface as job progress events.
-func (h *Handler) jobFn(req JobSubmitRequest) (jobs.Fn, error) {
+// returns the closure the worker pool executes against eng (the dataset
+// resolved at submit time, so a job's dataset cannot drift while it sits
+// in the queue). The progress callback is threaded into
+// Settings.Progress, so restart completions inside core.SolveRHE surface
+// as job progress events.
+func (h *Handler) jobFn(eng *maprat.Engine, req JobSubmitRequest) (jobs.Fn, error) {
 	p := req.Params
 	wire := func(er *maprat.ExplainRequest, report func(jobs.Progress)) {
 		er.Settings.Progress = func(done, total int) {
@@ -99,7 +101,7 @@ func (h *Handler) jobFn(req JobSubmitRequest) (jobs.Fn, error) {
 		}
 		return func(ctx context.Context, report func(jobs.Progress)) (any, error) {
 			wire(&er, report)
-			ex, err := h.eng.ExplainContext(ctx, er)
+			ex, err := eng.ExplainContext(ctx, er)
 			if err != nil {
 				return nil, err
 			}
@@ -123,7 +125,7 @@ func (h *Handler) jobFn(req JobSubmitRequest) (jobs.Fn, error) {
 			return nil, err
 		}
 		return func(ctx context.Context, report func(jobs.Progress)) (any, error) {
-			ge, err := h.eng.ExploreFullContext(ctx, er.Query, key, buckets, limit)
+			ge, err := eng.ExploreFullContext(ctx, er.Query, key, buckets, limit)
 			if err != nil {
 				return nil, err
 			}
@@ -143,7 +145,7 @@ func (h *Handler) jobFn(req JobSubmitRequest) (jobs.Fn, error) {
 			return nil, err
 		}
 		return func(ctx context.Context, report func(jobs.Progress)) (any, error) {
-			refs, err := h.eng.RefineGroupContext(ctx, er.Query, key, limit)
+			refs, err := eng.RefineGroupContext(ctx, er.Query, key, limit)
 			if err != nil {
 				return nil, err
 			}
@@ -168,7 +170,7 @@ func (h *Handler) jobFn(req JobSubmitRequest) (jobs.Fn, error) {
 		}
 		return func(ctx context.Context, report func(jobs.Progress)) (any, error) {
 			wire(&er, report)
-			tr, err := h.eng.DrillMineContext(ctx, er.Query, key, task, er.Settings)
+			tr, err := eng.DrillMineContext(ctx, er.Query, key, task, er.Settings)
 			if err != nil {
 				return nil, err
 			}
@@ -185,7 +187,7 @@ func (h *Handler) jobFn(req JobSubmitRequest) (jobs.Fn, error) {
 		}
 		return func(ctx context.Context, report func(jobs.Progress)) (any, error) {
 			wire(&er, report)
-			points, err := h.eng.EvolutionContext(ctx, er)
+			points, err := eng.EvolutionContext(ctx, er)
 			if err != nil {
 				return nil, err
 			}
@@ -208,7 +210,11 @@ func (h *Handler) handleJobs(w http.ResponseWriter, r *http.Request) {
 		decodeFail(w, err)
 		return
 	}
-	fn, err := h.jobFn(req)
+	eng, ok := h.resolveEngine(w, r, req.Params.Dataset)
+	if !ok {
+		return
+	}
+	fn, err := h.jobFn(eng, req)
 	if err != nil {
 		decodeFail(w, err)
 		return

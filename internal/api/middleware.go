@@ -188,17 +188,23 @@ var etagEndpoints = map[string]bool{
 }
 
 // etagFor derives the strong entity tag for a GET request: a hash of the
-// endpoint, the canonical (sorted) query string, and the engine's dataset
-// fingerprint. Any change to the knobs or the data underneath yields a
-// different tag.
-func (h *Handler) etagFor(name string, r *http.Request) string {
+// endpoint, the canonical (sorted) query string, and the fingerprint of
+// the dataset the request addresses. Any change to the knobs or the data
+// underneath yields a different tag. The second return is false when the
+// request names a dataset that is not mounted — no tag exists, and the
+// handler's own resolution will answer the 404 envelope.
+func (h *Handler) etagFor(name string, r *http.Request) (string, bool) {
+	eng, ok := h.lookupEngine(datasetName(r, ""))
+	if !ok {
+		return "", false
+	}
 	f := fnv.New64a()
 	f.Write([]byte(name))
 	f.Write([]byte{0})
 	f.Write([]byte(r.URL.Query().Encode()))
 	f.Write([]byte{0})
-	fmt.Fprintf(f, "%016x", h.eng.Fingerprint())
-	return fmt.Sprintf(`"mr64-%016x"`, f.Sum64())
+	fmt.Fprintf(f, "%016x", eng.Fingerprint())
+	return fmt.Sprintf(`"mr64-%016x"`, f.Sum64()), true
 }
 
 // etagMatches implements the If-None-Match comparison for a strong tag:
@@ -281,13 +287,14 @@ func (h *Handler) wrap(name string, fn http.HandlerFunc) http.Handler {
 		// request knobs and the dataset, so a match proves the client
 		// already holds exactly what mining would recompute.
 		if etagEndpoints[name] && (r.Method == http.MethodGet || r.Method == http.MethodHead) {
-			tag := h.etagFor(name, r)
-			if etagMatches(r.Header.Get("If-None-Match"), tag) {
-				rec.Header().Set("ETag", tag)
-				rec.WriteHeader(http.StatusNotModified)
-				return
+			if tag, ok := h.etagFor(name, r); ok {
+				if etagMatches(r.Header.Get("If-None-Match"), tag) {
+					rec.Header().Set("ETag", tag)
+					rec.WriteHeader(http.StatusNotModified)
+					return
+				}
+				rec.etag = tag
 			}
-			rec.etag = tag
 		}
 		fn(rec, r)
 	})

@@ -50,7 +50,7 @@ var Experiments = []Experiment{
 	{"E1", E1Queries}, {"E2", E2SimilarityToyStory}, {"E3", E3Exploration},
 	{"E4", E4Controversial}, {"E5", E5Caching}, {"E6", E6QualityVsBaselines},
 	{"E7", E7Scalability}, {"E8", E8Rendering}, {"E9", E9TimeSlider},
-	{"E10", E10Ablations}, {"E11", E11ColdPath},
+	{"E10", E10Ablations}, {"E11", E11ColdPath}, {"E12", E12Snapshot},
 }
 
 // RunAll executes every experiment against the engine and streams the

@@ -1,0 +1,58 @@
+package dataset
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Provenance derives a stable 64-bit hash of the generator configuration,
+// so a snapshot built from synthetic data records exactly which (config,
+// seed) produced it.
+func (cfg GenConfig) Provenance() uint64 {
+	f := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		f.Write(buf[:])
+	}
+	f.Write([]byte("maprat-gen"))
+	put(uint64(cfg.Seed))
+	put(uint64(cfg.Users))
+	put(uint64(cfg.Movies))
+	put(uint64(cfg.Ratings))
+	put(uint64(cfg.Start.Unix()))
+	put(uint64(cfg.End.Unix()))
+	return f.Sum64()
+}
+
+// DirProvenance hashes the MovieLens source files a text dataset was
+// loaded from (names, sizes and contents, in a fixed order), so a
+// snapshot packed from a directory records which bytes it came from. A
+// missing optional file contributes its absence; a missing required file
+// is the caller's problem and simply hashes as absent too.
+func DirProvenance(dir string) (uint64, error) {
+	f := fnv.New64a()
+	for _, name := range []string{UsersFile, MoviesFile, RatingsFile, CastFile} {
+		f.Write([]byte(name))
+		f.Write([]byte{0})
+		src, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			if os.IsNotExist(err) {
+				f.Write([]byte("absent"))
+				f.Write([]byte{0})
+				continue
+			}
+			return 0, err
+		}
+		if _, err := io.Copy(f, src); err != nil {
+			src.Close()
+			return 0, err
+		}
+		src.Close()
+		f.Write([]byte{0})
+	}
+	return f.Sum64(), nil
+}

@@ -1,0 +1,95 @@
+package dataset
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestLoadDirCastOpenError pins the cast.dat error handling: only "the
+// file does not exist" makes the cast optional. Any other open failure
+// (here: a symlink loop, ELOOP) must surface as an error instead of
+// silently loading the dataset without its cast enrichment.
+func TestLoadDirCastOpenError(t *testing.T) {
+	d := generateSmall(t)
+	dir := t.TempDir()
+	if err := WriteDir(dir, d); err != nil {
+		t.Fatal(err)
+	}
+	castPath := filepath.Join(dir, CastFile)
+	if err := os.Remove(castPath); err != nil {
+		t.Fatal(err)
+	}
+	// A self-pointing symlink fails os.Open with ELOOP — a non-IsNotExist
+	// error even for a root process (permission bits would not be).
+	if err := os.Symlink(castPath, castPath); err != nil {
+		t.Skipf("cannot create symlink: %v", err)
+	}
+	if _, err := LoadDir(dir); err == nil {
+		t.Fatal("LoadDir swallowed a cast.dat open error that was not IsNotExist")
+	}
+}
+
+func TestGenProvenance(t *testing.T) {
+	a := DefaultGenConfig()
+	b := DefaultGenConfig()
+	if a.Provenance() != b.Provenance() {
+		t.Error("identical configs hash differently")
+	}
+	b.Seed = 2
+	if a.Provenance() == b.Provenance() {
+		t.Error("different seeds hash identically")
+	}
+	c := DefaultGenConfig()
+	c.Ratings++
+	if a.Provenance() == c.Provenance() {
+		t.Error("different rating targets hash identically")
+	}
+}
+
+func TestDirProvenance(t *testing.T) {
+	d := generateSmall(t)
+	dir := t.TempDir()
+	if err := WriteDir(dir, d); err != nil {
+		t.Fatal(err)
+	}
+	p1, err := DirProvenance(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := DirProvenance(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Error("provenance of an unchanged directory differs between calls")
+	}
+	// Removing the optional cast file must change the hash (its absence
+	// is part of the identity).
+	if err := os.Remove(filepath.Join(dir, CastFile)); err != nil {
+		t.Fatal(err)
+	}
+	p3, err := DirProvenance(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3 == p1 {
+		t.Error("provenance unchanged after removing cast.dat")
+	}
+	// Mutating a source file must change the hash.
+	f, err := os.OpenFile(filepath.Join(dir, RatingsFile), os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("1::1::5::978300760\n"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	p4, err := DirProvenance(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p4 == p3 {
+		t.Error("provenance unchanged after appending a rating")
+	}
+}

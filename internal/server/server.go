@@ -57,7 +57,8 @@ const (
 // context from the request (so a client that disconnects cancels its mine
 // mid-restart) bounded by Config.RequestTimeout.
 type Server struct {
-	eng *maprat.Engine
+	eng *maprat.Engine // the default mount, serving the HTML pages
+	reg *maprat.Registry
 	mux *http.ServeMux
 	cfg Config
 	api *api.Handler
@@ -67,16 +68,24 @@ type Server struct {
 // settings.
 func New(eng *maprat.Engine) *Server { return NewWithConfig(eng, Config{}) }
 
-// NewWithConfig builds a server with explicit lifecycle settings.
+// NewWithConfig builds a single-dataset server with explicit lifecycle
+// settings.
 func NewWithConfig(eng *maprat.Engine, cfg Config) *Server {
+	return NewMulti(maprat.NewSingleRegistry("default", eng, maprat.DatasetInfo{}), cfg)
+}
+
+// NewMulti builds a server over a registry of mounted datasets. The v1
+// API selects a dataset per request (?dataset= / X-Maprat-Dataset); the
+// HTML pages serve the default (first) mount.
+func NewMulti(reg *maprat.Registry, cfg Config) *Server {
 	if cfg.RequestTimeout == 0 {
 		cfg.RequestTimeout = DefaultRequestTimeout
 	}
 	if cfg.ShutdownGrace == 0 {
 		cfg.ShutdownGrace = DefaultShutdownGrace
 	}
-	s := &Server{eng: eng, mux: http.NewServeMux(), cfg: cfg}
-	s.api = api.New(eng, api.Config{
+	s := &Server{eng: reg.Default().Engine, reg: reg, mux: http.NewServeMux(), cfg: cfg}
+	s.api = api.NewMulti(reg, api.Config{
 		RequestTimeout: cfg.RequestTimeout,
 		MaxBatch:       cfg.MaxBatch,
 		Logger:         cfg.AccessLog,
@@ -172,6 +181,19 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 // metrics. The payload is encoded into a buffer before any header is
 // written, so an encode failure still produces a clean 500.
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	type datasetStat struct {
+		Name        string `json:"name"`
+		Fingerprint string `json:"fingerprint"`
+		Users       int    `json:"users"`
+		Items       int    `json:"items"`
+		Ratings     int    `json:"ratings"`
+		// Source is how the dataset was opened: snapshot, text or
+		// generated ("" when the server was built without mount info).
+		Source   string  `json:"source,omitempty"`
+		Path     string  `json:"path,omitempty"`
+		FileSize int64   `json:"file_size,omitempty"`
+		OpenMS   float64 `json:"open_ms,omitempty"`
+	}
 	resp := struct {
 		PlanCache store.PlanStats `json:"plan_cache"`
 		Result    struct {
@@ -179,14 +201,29 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			Misses  uint64 `json:"misses"`
 			Entries int    `json:"entries"`
 		} `json:"result_cache"`
-		Mines uint64                          `json:"mines"`
-		API   map[string]api.EndpointSnapshot `json:"api"`
-		Jobs  jobs.Stats                      `json:"jobs"`
+		Mines    uint64                          `json:"mines"`
+		API      map[string]api.EndpointSnapshot `json:"api"`
+		Jobs     jobs.Stats                      `json:"jobs"`
+		Datasets []datasetStat                   `json:"datasets"`
 	}{
 		PlanCache: s.eng.PlanStats(),
 		Mines:     s.eng.MineCount(),
 		API:       s.api.MetricsSnapshot(),
 		Jobs:      s.api.JobStats(),
+	}
+	for _, m := range s.reg.Mounts() {
+		st := m.Engine.Dataset().Stats()
+		resp.Datasets = append(resp.Datasets, datasetStat{
+			Name:        m.Name,
+			Fingerprint: fmt.Sprintf("%016x", m.Engine.Fingerprint()),
+			Users:       st.Users,
+			Items:       st.Items,
+			Ratings:     st.Ratings,
+			Source:      m.Info.Source,
+			Path:        m.Info.Path,
+			FileSize:    m.Info.FileSize,
+			OpenMS:      float64(m.Info.OpenDuration.Microseconds()) / 1000,
+		})
 	}
 	if c := s.eng.Store().Cache(); c != nil {
 		resp.Result.Hits, resp.Result.Misses = c.Stats()

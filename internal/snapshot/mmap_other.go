@@ -1,0 +1,11 @@
+//go:build !(linux || darwin)
+
+package snapshot
+
+import "os"
+
+// mapFile reports "no mapping available" on platforms without the unix
+// mmap path; Open falls back to reading the file into memory.
+func mapFile(f *os.File, size int64) ([]byte, bool, error) { return nil, false, nil }
+
+func unmapFile(b []byte) error { return nil }

@@ -1,0 +1,25 @@
+//go:build linux || darwin
+
+package snapshot
+
+import (
+	"math"
+	"os"
+	"syscall"
+)
+
+// mapFile memory-maps the file read-only and shared: the kernel pages
+// the snapshot in on demand, and every process mapping the same file
+// shares one copy of the resident pages.
+func mapFile(f *os.File, size int64) ([]byte, bool, error) {
+	if size <= 0 || size > math.MaxInt {
+		return nil, false, nil
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, false, err
+	}
+	return b, true, nil
+}
+
+func unmapFile(b []byte) error { return syscall.Munmap(b) }

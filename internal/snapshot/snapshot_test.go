@@ -1,0 +1,286 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/model"
+)
+
+// testDataset builds one small synthetic dataset per process: generation
+// dominates the suite's cost and every test only reads it.
+var testDS = func() *model.Dataset {
+	cfg := dataset.SmallGenConfig()
+	cfg.Users = 300
+	cfg.Movies = 120
+	cfg.Ratings = 6000
+	ds, err := dataset.Generate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return ds
+}()
+
+func writeTestSnapshot(t *testing.T, meta Meta) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "test.msnap")
+	if err := WriteFile(path, testDS, meta); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	return path
+}
+
+func TestRoundTrip(t *testing.T) {
+	meta := Meta{Source: "generated", Provenance: 0xdeadbeef, Extra: map[string]string{"k": "v"}}
+	path := writeTestSnapshot(t, meta)
+	snap, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer snap.Close()
+
+	got := snap.Dataset()
+	if !reflect.DeepEqual(got.Users, testDS.Users) {
+		t.Error("users differ after round trip")
+	}
+	if !reflect.DeepEqual(got.Items, testDS.Items) {
+		t.Error("items differ after round trip")
+	}
+	if !reflect.DeepEqual(got.Ratings, testDS.Ratings) {
+		t.Error("ratings differ after round trip")
+	}
+
+	h := snap.Header()
+	if int(h.Users) != len(testDS.Users) || int(h.Items) != len(testDS.Items) || int(h.Ratings) != len(testDS.Ratings) {
+		t.Errorf("header counts %d/%d/%d != dataset %d/%d/%d",
+			h.Users, h.Items, h.Ratings, len(testDS.Users), len(testDS.Items), len(testDS.Ratings))
+	}
+	lo, hi := snap.TimeRange()
+	if want := model.Fingerprint(testDS, lo, hi); snap.Fingerprint() != want {
+		t.Errorf("fingerprint %016x != recomputed %016x", snap.Fingerprint(), want)
+	}
+	if want := model.LogHash(testDS.Ratings); h.LogHash != want {
+		t.Errorf("log hash %016x != recomputed %016x", h.LogHash, want)
+	}
+	if snap.Provenance() != 0xdeadbeef {
+		t.Errorf("provenance %x != deadbeef", snap.Provenance())
+	}
+	if snap.Source() != "generated" {
+		t.Errorf("source %q != generated", snap.Source())
+	}
+	if snap.Meta()["k"] != "v" {
+		t.Errorf("meta extra lost: %v", snap.Meta())
+	}
+	if len(snap.Tuples()) != len(testDS.Ratings) {
+		t.Errorf("tuple log has %d entries, want %d", len(snap.Tuples()), len(testDS.Ratings))
+	}
+
+	// Every rating must appear in its item's index exactly once, sorted
+	// by timestamp.
+	total := 0
+	for id, idxs := range snap.ItemTuples() {
+		total += len(idxs)
+		last := int64(-1 << 62)
+		for _, ti := range idxs {
+			tp := snap.Tuples()[ti]
+			if int(tp.ItemID) != id {
+				t.Fatalf("item index for %d points at tuple of item %d", id, tp.ItemID)
+			}
+			if tp.Unix < last {
+				t.Fatalf("item %d index not time-sorted", id)
+			}
+			last = tp.Unix
+		}
+	}
+	if total != len(testDS.Ratings) {
+		t.Errorf("item index covers %d tuples, want %d", total, len(testDS.Ratings))
+	}
+}
+
+// TestFallbackParity pins the three open paths — mmap+alias, mmap with
+// copying decode, and plain read — to identical results.
+func TestFallbackParity(t *testing.T) {
+	path := writeTestSnapshot(t, Meta{Source: "generated"})
+	base, err := OpenWith(path, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer base.Close()
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{"no-alias", Options{DisableAlias: true}},
+		{"no-mmap", Options{DisableMmap: true}},
+		{"no-mmap-no-alias", Options{DisableMmap: true, DisableAlias: true}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			snap, err := OpenWith(path, tc.opts)
+			if err != nil {
+				t.Fatalf("OpenWith(%+v): %v", tc.opts, err)
+			}
+			defer snap.Close()
+			if tc.opts.DisableMmap && snap.Mapped() {
+				t.Error("DisableMmap but snapshot is mapped")
+			}
+			if tc.opts.DisableAlias && snap.Aliased() {
+				t.Error("DisableAlias but tuples are aliased")
+			}
+			if !reflect.DeepEqual(snap.Dataset(), base.Dataset()) {
+				t.Error("dataset differs from the mmap+alias open")
+			}
+			if !reflect.DeepEqual(snap.Tuples(), base.Tuples()) {
+				t.Error("tuple log differs from the mmap+alias open")
+			}
+			if !reflect.DeepEqual(snap.ItemTuples(), base.ItemTuples()) {
+				t.Error("item index differs from the mmap+alias open")
+			}
+			if snap.Fingerprint() != base.Fingerprint() {
+				t.Error("fingerprint differs from the mmap+alias open")
+			}
+		})
+	}
+}
+
+func TestWriteDeterministic(t *testing.T) {
+	meta := Meta{Source: "generated", Provenance: 7, Extra: map[string]string{"b": "2", "a": "1"}}
+	var one, two bytes.Buffer
+	if err := Write(&one, testDS, meta); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&two, testDS, meta); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(one.Bytes(), two.Bytes()) {
+		t.Error("two writes of the same dataset differ byte-wise")
+	}
+}
+
+func TestOpenRejectsCorruption(t *testing.T) {
+	path := writeTestSnapshot(t, Meta{Source: "generated"})
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reopen := func(t *testing.T, mutate func(b []byte) []byte) error {
+		t.Helper()
+		b := mutate(append([]byte(nil), raw...))
+		p := filepath.Join(t.TempDir(), "bad.msnap")
+		if err := os.WriteFile(p, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		snap, err := Open(p)
+		if err == nil {
+			snap.Close()
+		}
+		return err
+	}
+
+	t.Run("bad-magic", func(t *testing.T) {
+		err := reopen(t, func(b []byte) []byte { b[0] = 'X'; return b })
+		if !errors.Is(err, ErrBadMagic) {
+			t.Errorf("got %v, want ErrBadMagic", err)
+		}
+	})
+	t.Run("future-version", func(t *testing.T) {
+		err := reopen(t, func(b []byte) []byte {
+			le.PutUint32(b[4:], Version+1)
+			return b
+		})
+		if !errors.Is(err, ErrVersion) {
+			t.Errorf("got %v, want ErrVersion", err)
+		}
+	})
+	t.Run("truncated-header", func(t *testing.T) {
+		err := reopen(t, func(b []byte) []byte { return b[:40] })
+		if !errors.Is(err, ErrTruncated) {
+			t.Errorf("got %v, want ErrTruncated", err)
+		}
+	})
+	t.Run("truncated-body", func(t *testing.T) {
+		err := reopen(t, func(b []byte) []byte { return b[:len(b)/2] })
+		if err == nil {
+			t.Error("half a snapshot opened cleanly")
+		}
+	})
+	t.Run("flipped-header-byte", func(t *testing.T) {
+		// Any header mutation (here: the rating count) must fail the
+		// header CRC, not produce a wrong-shaped dataset.
+		err := reopen(t, func(b []byte) []byte { b[32] ^= 0xff; return b })
+		if !errors.Is(err, ErrChecksum) {
+			t.Errorf("got %v, want ErrChecksum", err)
+		}
+	})
+	t.Run("flipped-section-byte", func(t *testing.T) {
+		h, err := decodeHeader(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sec := range h.Sections {
+			if sec.Length == 0 {
+				continue
+			}
+			t.Run(sec.Name(), func(t *testing.T) {
+				err := reopen(t, func(b []byte) []byte {
+					b[sec.Offset+sec.Length/2] ^= 0x01
+					return b
+				})
+				if !errors.Is(err, ErrChecksum) {
+					t.Errorf("got %v, want ErrChecksum", err)
+				}
+			})
+		}
+	})
+	t.Run("empty-file", func(t *testing.T) {
+		err := reopen(t, func(b []byte) []byte { return nil })
+		if !errors.Is(err, ErrTruncated) {
+			t.Errorf("got %v, want ErrTruncated", err)
+		}
+	})
+}
+
+// TestCloseIdempotent guards the munmap path: double Close must not
+// panic or unmap twice.
+func TestCloseIdempotent(t *testing.T) {
+	path := writeTestSnapshot(t, Meta{})
+	snap, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.Close(); err != nil {
+		t.Fatalf("first close: %v", err)
+	}
+	if err := snap.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+// TestTimeRange pins the header's time range to the rating extremes.
+func TestTimeRange(t *testing.T) {
+	path := writeTestSnapshot(t, Meta{})
+	snap, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Close()
+	var lo, hi int64 = 1<<62 - 1, -(1 << 62)
+	for _, r := range testDS.Ratings {
+		if r.Unix < lo {
+			lo = r.Unix
+		}
+		if r.Unix > hi {
+			hi = r.Unix
+		}
+	}
+	glo, ghi := snap.TimeRange()
+	if glo != lo || ghi != hi {
+		t.Errorf("time range [%s, %s], want [%s, %s]",
+			time.Unix(glo, 0), time.Unix(ghi, 0), time.Unix(lo, 0), time.Unix(hi, 0))
+	}
+}

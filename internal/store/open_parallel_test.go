@@ -22,8 +22,14 @@ func TestOpenParallelMatchesSequential(t *testing.T) {
 
 	prev := runtime.GOMAXPROCS(1)
 	seq, seqErr := Open(ds, DefaultOptions())
+	if seqErr == nil {
+		seq.GlobalCube() // force the lazy build on one goroutine
+	}
 	runtime.GOMAXPROCS(4)
 	par, parErr := Open(ds, DefaultOptions())
+	if parErr == nil {
+		par.GlobalCube()
+	}
 	runtime.GOMAXPROCS(prev)
 	if seqErr != nil || parErr != nil {
 		t.Fatalf("Open failed: seq=%v par=%v", seqErr, parErr)

@@ -3,8 +3,8 @@
 // joins every rating with its reviewer's demographics once at open time,
 // maintains inverted indexes from item attributes (title, genre, actor,
 // director) to items and from items to rating tuples sorted by time, keeps
-// a precomputed global cube for browse-mode statistics, and offers an LRU
-// result cache for repeated queries.
+// a global cube for browse-mode statistics (built lazily on first use),
+// and offers an LRU result cache for repeated queries.
 package store
 
 import (
@@ -81,8 +81,11 @@ func (w TimeWindow) String() string {
 
 // Options configures Open.
 type Options struct {
-	// Precompute builds the global demographic cube over the whole rating
-	// log at open time (used by browse statistics and the E5 ablation).
+	// Precompute enables the global demographic cube over the whole rating
+	// log (used by browse statistics and the E5 ablation). The cube is
+	// built lazily on the first GlobalCube call rather than at open time,
+	// so opening a store — in particular from a memory-mapped snapshot —
+	// never pays for an aggregate the workload might not touch.
 	Precompute bool
 	// CubeConfig is the candidate-group configuration used for the global
 	// cube; per-query cubes are configured by the mining layer.
@@ -123,9 +126,16 @@ type Store struct {
 
 	minUnix, maxUnix int64
 
-	globalCube *cube.Cube // nil unless Options.Precompute
-	cache      *LRU       // nil unless Options.CacheSize > 0
-	plans      *PlanCache // nil unless Options.PlanCacheTuples > 0
+	// The global cube is enabled by Options.Precompute but built lazily:
+	// the first GlobalCube call pays for it, concurrent callers share the
+	// one build through cubeOnce.
+	cubeEnabled bool
+	cubeCfg     cube.Config
+	cubeOnce    sync.Once
+	globalCube  *cube.Cube
+
+	cache *LRU       // nil unless Options.CacheSize > 0
+	plans *PlanCache // nil unless Options.PlanCacheTuples > 0
 }
 
 // openParallelMin is the rating count below which Open joins sequentially;
@@ -135,11 +145,12 @@ const openParallelMin = 1 << 15
 // Open indexes a dataset. The dataset must already be valid (see
 // model.Dataset.Validate); Open trusts it and never mutates it.
 //
-// The expensive phases — the demographics join, the per-item time index,
-// and the global-cube precomputation — are sharded over rating partitions
-// across GOMAXPROCS goroutines. The result is identical to a sequential
-// open: shards are contiguous index ranges merged in order, and every sort
-// below carries a total-order tie-break.
+// The expensive phases — the demographics join and the per-item time
+// index — are sharded over rating partitions across GOMAXPROCS
+// goroutines. The result is identical to a sequential open: shards are
+// contiguous index ranges merged in order, and every sort below carries a
+// total-order tie-break. The global cube (Options.Precompute) is deferred
+// to the first GlobalCube call.
 func Open(ds *model.Dataset, opts Options) (*Store, error) {
 	if ds == nil {
 		return nil, fmt.Errorf("store: nil dataset")
@@ -169,15 +180,65 @@ func Open(ds *model.Dataset, opts Options) (*Store, error) {
 	}
 	itemWG.Wait()
 
-	if opts.Precompute {
-		s.globalCube = cube.Build(s.tuples, opts.CubeConfig)
-	}
+	s.finishOpen(opts)
+	return s, nil
+}
+
+// finishOpen runs the open-time stages that follow the join: arming the
+// lazy global cube and building the caching tiers.
+func (s *Store) finishOpen(opts Options) {
+	s.cubeEnabled = opts.Precompute
+	s.cubeCfg = opts.CubeConfig
 	if opts.CacheSize > 0 {
 		s.cache = NewLRU(opts.CacheSize)
 	}
 	if opts.PlanCacheTuples > 0 {
 		s.plans = NewPlanCache(opts.PlanCacheTuples)
 	}
+}
+
+// Prejoined carries the open-time artifacts a snapshot already holds:
+// the demographics-joined tuple log in rating-log order, the per-item
+// time-sorted index into it, and the rating time range. OpenPrejoined
+// trusts these to match what joinRatings would derive — the snapshot
+// writer produces them with the same ordering and tie-breaks.
+type Prejoined struct {
+	Tuples     []cube.Tuple
+	ItemTuples map[int][]int32
+	MinUnix    int64
+	MaxUnix    int64
+}
+
+// OpenPrejoined is Open minus the join: the expensive tuple
+// materialization and per-item sort are taken from pj (typically slices
+// aliasing a memory-mapped snapshot), so only the item-attribute
+// indexes and the optional precompute/caching tiers are built here. The
+// store never mutates the tuple log or the index after open, so
+// read-only mapped pages are safe underneath it.
+func OpenPrejoined(ds *model.Dataset, opts Options, pj Prejoined) (*Store, error) {
+	if ds == nil {
+		return nil, fmt.Errorf("store: nil dataset")
+	}
+	if len(pj.Tuples) != len(ds.Ratings) {
+		return nil, fmt.Errorf("store: prejoined log has %d tuples for %d ratings", len(pj.Tuples), len(ds.Ratings))
+	}
+	s := &Store{
+		ds:         ds,
+		tuples:     pj.Tuples,
+		itemTuples: pj.ItemTuples,
+		minUnix:    pj.MinUnix,
+		maxUnix:    pj.MaxUnix,
+		byGenre:    make(map[string][]int),
+		byActor:    make(map[string][]int),
+		byDirector: make(map[string][]int),
+		byTitle:    make(map[string][]int),
+		titleTerm:  make(map[string][]int),
+	}
+	if s.itemTuples == nil {
+		s.itemTuples = make(map[int][]int32)
+	}
+	s.buildItemIndexes()
+	s.finishOpen(opts)
 	return s, nil
 }
 
@@ -337,9 +398,17 @@ func (s *Store) NumTuples() int { return len(s.tuples) }
 // TimeRange returns the [min,max] rating timestamps in the log.
 func (s *Store) TimeRange() (int64, int64) { return s.minUnix, s.maxUnix }
 
-// GlobalCube returns the precomputed whole-log cube, or nil when Open ran
-// without precomputation.
-func (s *Store) GlobalCube() *cube.Cube { return s.globalCube }
+// GlobalCube returns the whole-log cube, or nil when Open ran without
+// precomputation. The cube is built on the first call (open itself never
+// pays for it); concurrent callers block on the single build and then
+// share the result.
+func (s *Store) GlobalCube() *cube.Cube {
+	if !s.cubeEnabled {
+		return nil
+	}
+	s.cubeOnce.Do(func() { s.globalCube = cube.Build(s.tuples, s.cubeCfg) })
+	return s.globalCube
+}
 
 // Cache returns the store's result cache (nil when disabled).
 func (s *Store) Cache() *LRU { return s.cache }
