@@ -1,0 +1,131 @@
+// Command maprat-vet is MapRat's invariant checker: a multichecker over
+// the five custom analyzers in internal/analysis (determinism, ctxflow,
+// envelope, aliasguard, clonecheck) plus the suppression-directive
+// auditor. It runs in CI on every PR next to go vet and gofmt.
+//
+// Usage:
+//
+//	maprat-vet [flags] [packages]
+//
+//	maprat-vet ./...                    # whole repo, text findings
+//	maprat-vet -format=json ./...       # machine-readable findings
+//	maprat-vet -format=github ./...     # GitHub Actions ::error annotations
+//	maprat-vet -analyzers=determinism,ctxflow ./internal/core
+//	maprat-vet -list                    # rule catalog
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load failure.
+//
+// Findings are suppressed per line with
+//
+//	//maprat:allow(<analyzer>) <reason>
+//
+// where the reason is mandatory; unknown names, missing reasons and
+// stale directives are findings themselves.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		format = flag.String("format", "text", "output format: text, json, or github (GitHub Actions annotations)")
+		jsonF  = flag.Bool("json", false, "shorthand for -format=json")
+		names  = flag.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+		list   = flag.Bool("list", false, "print the rule catalog and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%s\n\t%s\n", a.Name, a.Doc)
+		}
+		fmt.Printf("%s\n\t%s\n", analysis.SuppressName,
+			"audit //maprat:allow(<analyzer>) <reason> directives: unknown analyzer names, missing reasons and stale directives are findings")
+		return 0
+	}
+
+	analyzers := analysis.All()
+	if *names != "" {
+		analyzers = analyzers[:0]
+		for _, n := range strings.Split(*names, ",") {
+			a, ok := analysis.ByName(strings.TrimSpace(n))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "maprat-vet: unknown analyzer %q (try -list)\n", n)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dir, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "maprat-vet: %v\n", err)
+		return 2
+	}
+
+	diags, err := analysis.Run(dir, analyzers, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "maprat-vet: %v\n", err)
+		return 2
+	}
+
+	if *jsonF {
+		*format = "json"
+	}
+	switch *format {
+	case "json":
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []analysis.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintf(os.Stderr, "maprat-vet: %v\n", err)
+			return 2
+		}
+	case "github":
+		// GitHub Actions workflow-command annotations: one ::error line
+		// per finding, so the findings surface inline on the PR diff.
+		for _, d := range diags {
+			fmt.Printf("::error file=%s,line=%d,col=%d,title=maprat-vet %s::%s\n",
+				relPath(dir, d.File), d.Line, d.Col, d.Analyzer, d.Message)
+		}
+	case "text":
+		for _, d := range diags {
+			fmt.Printf("%s:%d:%d: %s: %s\n", relPath(dir, d.File), d.Line, d.Col, d.Analyzer, d.Message)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "maprat-vet: unknown -format %q\n", *format)
+		return 2
+	}
+
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "maprat-vet: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// relPath shortens absolute finding paths to repo-relative ones; GitHub
+// annotations require them, and the text output reads better.
+func relPath(dir, file string) string {
+	if rel, ok := strings.CutPrefix(file, dir+string(os.PathSeparator)); ok {
+		return rel
+	}
+	return file
+}

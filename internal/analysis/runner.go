@@ -1,0 +1,58 @@
+package analysis
+
+import (
+	"fmt"
+)
+
+// Run loads patterns relative to dir, runs every analyzer over every
+// loaded package, applies //maprat:allow suppressions, and returns the
+// surviving findings sorted by position. The returned slice is empty for
+// a clean tree.
+func Run(dir string, analyzers []*Analyzer, patterns ...string) ([]Diagnostic, error) {
+	pkgs, err := Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	// Directive names validate against the whole suite, not just the
+	// analyzers in this run: a //maprat:allow(ctxflow) is legitimate even
+	// when only determinism is being re-run.
+	known := map[string]bool{}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		diags, err := runPackage(pkg, analyzers, known)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, diags...)
+	}
+	sortDiagnostics(all)
+	return all, nil
+}
+
+// runPackage runs the analyzers over one package and resolves its
+// suppression directives. Directives are scoped to the package's own
+// files, so a suppression can never reach across packages.
+func runPackage(pkg *Package, analyzers []*Analyzer, known map[string]bool) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			diags:    &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s on %s: %v", a.Name, pkg.ImportPath, err)
+		}
+	}
+	dirs := parseDirectives(pkg)
+	return applySuppressions(diags, dirs, known), nil
+}

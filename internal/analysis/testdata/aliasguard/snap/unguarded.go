@@ -1,0 +1,11 @@
+package snap
+
+import "unsafe"
+
+func aliasNoGuard(b []byte) []int32 {
+	if len(b) < 4 {
+		return nil
+	}
+	p := unsafe.Pointer(&b[0])
+	return unsafe.Slice((*int32)(p), len(b)/4) // want `unsafe\.Slice in a file with no layout guard`
+}

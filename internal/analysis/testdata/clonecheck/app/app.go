@@ -1,0 +1,51 @@
+package app
+
+import "fixture/internal/store"
+
+type Explanation struct{ IDs []int32 }
+
+// Clone returns a deep copy safe for callers to mutate.
+func (e *Explanation) Clone() *Explanation {
+	if e == nil {
+		return nil
+	}
+	out := &Explanation{IDs: make([]int32, len(e.IDs))}
+	copy(out.IDs, e.IDs)
+	return out
+}
+
+func returnAsserted(c *store.LRU, key string) *Explanation {
+	if v, ok := c.Get(key); ok {
+		return v.(*Explanation) // want `pointer fetched from store\.LRU\.Get escapes via return without Clone`
+	}
+	return nil
+}
+
+func returnCloned(c *store.LRU, key string) *Explanation {
+	if v, ok := c.Get(key); ok {
+		return v.(*Explanation).Clone() // ok: deep copy laundered the cache pointer
+	}
+	return nil
+}
+
+func returnViaVar(c *store.LRU, key string) *Explanation {
+	v, _ := c.Get(key)
+	ex := v.(*Explanation)
+	return ex // want `pointer fetched from store\.LRU\.Get escapes via return without Clone`
+}
+
+func returnClonedVar(c *store.LRU, key string) *Explanation {
+	v, _ := c.Get(key)
+	ex := v.(*Explanation).Clone()
+	return ex // ok: ex was assigned from Clone, not from the cache
+}
+
+func flightEscape(f *store.Flight, key string) (any, error) {
+	v, _, err := f.Do(key, func() (any, error) { return &Explanation{}, nil })
+	return v, err // want `pointer fetched from store\.Flight\.Do escapes via return without Clone`
+}
+
+func planContract(pc *store.PlanCache, key string) (*store.Plan, error) {
+	p, _, err := pc.GetOrBuild(key, func() (*store.Plan, error) { return &store.Plan{}, nil })
+	return p, err //maprat:allow(clonecheck) fixture: Plan is immutable by contract
+}

@@ -1,0 +1,31 @@
+// Package store stubs the real repro/internal/store cache surface: the
+// clonecheck analyzer keys on these type and method names under any
+// internal/store package path.
+package store
+
+// LRU mimics the result cache.
+type LRU struct{}
+
+// Get returns the cached value for key, if present.
+func (c *LRU) Get(key string) (any, bool) { return nil, false }
+
+// Flight mimics the singleflight layer.
+type Flight struct{}
+
+// Do returns the cached or freshly built value for key.
+func (f *Flight) Do(key string, fn func() (any, error)) (any, bool, error) {
+	v, err := fn()
+	return v, false, err
+}
+
+// Plan mimes the immutable materialized plan.
+type Plan struct{ IDs []int32 }
+
+// PlanCache mimics the materialized-plan tier.
+type PlanCache struct{}
+
+// GetOrBuild returns the cached plan or builds one.
+func (pc *PlanCache) GetOrBuild(key string, build func() (*Plan, error)) (*Plan, bool, error) {
+	p, err := build()
+	return p, false, err
+}

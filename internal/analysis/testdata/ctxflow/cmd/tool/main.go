@@ -1,0 +1,12 @@
+// Command tool shows the main-package exemption: Background is the
+// legitimate context root here.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background() // ok: main owns the root context
+	run(ctx)
+}
+
+func run(ctx context.Context) { <-ctx.Done() }

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"fixture/internal/rng"
+)
+
+func wallClock() int64 {
+	return time.Now().Unix() // want `time\.Now in mining code`
+}
+
+func elapsed(t time.Time) time.Duration {
+	return time.Since(t) // want `time\.Since in mining code`
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `global math/rand\.Intn in mining code`
+}
+
+func adHocSeed(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // want `ad-hoc math/rand\.New in mining code` `ad-hoc math/rand\.NewSource in mining code`
+}
+
+func seeded(seed int64) *rand.Rand {
+	return rng.New(seed) // ok: the sanctioned seeding seam
+}
+
+func draw(gen *rand.Rand) int {
+	return gen.Intn(10) // ok: method on an explicitly seeded generator
+}
+
+func leakOrder(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map iteration order leaks into returned slice "keys"`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func sortedOrder(m map[string]int) []string {
+	var keys []string
+	for k := range m { // ok: sorted before returning
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func internalOnly(m map[string]int) int {
+	var vals []int
+	for _, v := range m { // ok: never returned
+		vals = append(vals, v)
+	}
+	total := 0
+	for _, v := range vals {
+		total += v
+	}
+	return total
+}
+
+func annotatedSeam() int64 {
+	return time.Now().Unix() //maprat:allow(determinism) fixture: annotated wall-clock seam
+}

@@ -1,0 +1,8 @@
+// Package other sits outside the mining scope: the determinism rules do
+// not apply here.
+package other
+
+import "time"
+
+// Stamp may read the wall clock freely.
+func Stamp() int64 { return time.Now().Unix() }

@@ -1,0 +1,8 @@
+// Package rng mirrors the real repro/internal/rng seam: the one place
+// ad-hoc seeding is legitimate, outside the mining package scope.
+package rng
+
+import "math/rand"
+
+// New returns a deterministic generator for seed.
+func New(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

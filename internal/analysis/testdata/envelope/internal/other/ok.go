@@ -1,0 +1,10 @@
+// Package other is outside the api/server scope: the envelope rules do
+// not apply here.
+package other
+
+import "net/http"
+
+// Fail may use the plain text helper freely.
+func Fail(w http.ResponseWriter) {
+	http.Error(w, "nope", http.StatusTeapot)
+}

@@ -1,0 +1,34 @@
+package server
+
+import "net/http"
+
+func naked(w http.ResponseWriter) {
+	http.Error(w, "boom", http.StatusInternalServerError) // want `http\.Error bypasses the v1 error envelope`
+}
+
+func errorStatus(w http.ResponseWriter) {
+	w.WriteHeader(http.StatusBadRequest) // want `WriteHeader\(400\)`
+}
+
+func successStatus(w http.ResponseWriter) {
+	w.WriteHeader(http.StatusAccepted) // ok: success statuses are not error paths
+}
+
+func mappedStatus(w http.ResponseWriter, err error) {
+	w.WriteHeader(statusForError(err)) // want `WriteHeader\(statusForError\(\.\.\.\)\)`
+}
+
+func statusForError(err error) int {
+	if err != nil {
+		return http.StatusInternalServerError
+	}
+	return http.StatusOK
+}
+
+func forwarded(w http.ResponseWriter, code int) {
+	w.WriteHeader(code) // ok: plain variable, middleware-style forwarding
+}
+
+func annotatedSeam(w http.ResponseWriter) {
+	http.Error(w, "boom", http.StatusNotFound) //maprat:allow(envelope) fixture: the sanctioned text-error seam
+}

@@ -1,0 +1,30 @@
+// Package core exercises directive misuse: malformed or stale
+// //maprat:allow comments must surface as findings, never as silence.
+package core
+
+import "time"
+
+func unknownName() int64 {
+	return time.Now().Unix() //maprat:allow(nosuchcheck) bogus target // want `time\.Now in mining code` `maprat:allow names unknown analyzer "nosuchcheck"`
+}
+
+func missingReason() int64 {
+	return time.Now().Unix() //maprat:allow(determinism) // want `time\.Now in mining code` `maprat:allow\(determinism\) has no reason`
+}
+
+func emptyName() int64 {
+	return time.Now().Unix() //maprat:allow() forgot the analyzer // want `time\.Now in mining code` `maprat:allow directive names no analyzer`
+}
+
+func stale() int64 {
+	return 42 //maprat:allow(determinism) nothing to suppress here // want `stale maprat:allow\(determinism\)`
+}
+
+func wellFormed() int64 {
+	return time.Now().Unix() //maprat:allow(determinism) fixture: justified seam, suppressed cleanly
+}
+
+func ownLine() int64 {
+	//maprat:allow(determinism) fixture: stand-alone directive governs the next line
+	return time.Now().Unix()
+}

@@ -31,7 +31,7 @@ const rhePatience = 3
 // restarts: the parallel and sequential paths return byte-identical
 // Solutions.
 func (p *Problem) SolveRHE() Solution {
-	sol, _ := p.SolveRHECtx(context.Background())
+	sol, _ := p.SolveRHECtx(context.Background()) //maprat:allow(ctxflow) compat wrapper: preserves the pre-context API; cancellable callers use SolveRHECtx
 	return sol
 }
 

@@ -153,7 +153,7 @@ func buildWith(tuples []Tuple, cfg Config, workers int) *Cube {
 			lo := w * len(tuples) / workers
 			hi := (w + 1) * len(tuples) / workers
 			wg.Add(1)
-			go func(w, lo, hi int) {
+			go func(w, lo, hi int) { //maprat:allow(ctxflow) bounded CPU shard joined by wg.Wait before Build returns; callers check ctx between pipeline stages
 				defer wg.Done()
 				parts[w] = packCount(tuples, cfg, lay, lo, hi)
 			}(w, lo, hi)
@@ -261,7 +261,7 @@ func buildWith(tuples []Tuple, cfg Config, workers int) *Cube {
 			lo := w * len(tuples) / workers
 			hi := (w + 1) * len(tuples) / workers
 			wg.Add(1)
-			go func(w, lo, hi int) {
+			go func(w, lo, hi int) { //maprat:allow(ctxflow) bounded CPU shard joined by wg.Wait before Build returns; callers check ctx between pipeline stages
 				defer wg.Done()
 				packFill(tuples, cfg, lay, lo, hi, parts[w], starts[w], arena)
 			}(w, lo, hi)

@@ -196,10 +196,14 @@ func NewManager(cfg Config) *Manager {
 		queue: make(chan *Job, cfg.Queue),
 		stop:  make(chan struct{}),
 	}
-	m.baseCtx, m.baseCancel = context.WithCancel(context.Background())
+	// The manager is the lifecycle root for every job it runs: jobs
+	// outlive the submitting request by design, so their contexts hang
+	// off this manager-owned context (canceled by Close), not off any
+	// request context.
+	m.baseCtx, m.baseCancel = context.WithCancel(context.Background()) //maprat:allow(ctxflow) manager-owned lifecycle root; Close cancels it and drains the pool
 	for w := 0; w < cfg.Workers; w++ {
 		m.wg.Add(1)
-		go m.worker()
+		go m.worker(m.baseCtx)
 	}
 	return m
 }
@@ -297,7 +301,7 @@ func (m *Manager) Close(ctx context.Context) error {
 	}
 drained:
 	workersDone := make(chan struct{})
-	go func() { m.wg.Wait(); close(workersDone) }()
+	go func() { m.wg.Wait(); close(workersDone) }() //maprat:allow(ctxflow) shutdown waiter: converts wg.Wait into a channel the select below can race against ctx
 	select {
 	case <-workersDone:
 	case <-ctx.Done():
@@ -308,7 +312,7 @@ drained:
 	return nil
 }
 
-func (m *Manager) worker() {
+func (m *Manager) worker(ctx context.Context) {
 	defer m.wg.Done()
 	for {
 		// Prefer the stop signal over more queued work, so Close can
@@ -330,18 +334,18 @@ func (m *Manager) worker() {
 					return
 				}
 			}
-			m.run(j)
+			m.run(ctx, j)
 		}
 	}
 }
 
-func (m *Manager) run(j *Job) {
+func (m *Manager) run(base context.Context, j *Job) {
 	var ctx context.Context
 	var cancel context.CancelFunc
 	if m.cfg.JobTimeout > 0 {
-		ctx, cancel = context.WithTimeout(m.baseCtx, m.cfg.JobTimeout)
+		ctx, cancel = context.WithTimeout(base, m.cfg.JobTimeout)
 	} else {
-		ctx, cancel = context.WithCancel(m.baseCtx)
+		ctx, cancel = context.WithCancel(base)
 	}
 	defer cancel()
 

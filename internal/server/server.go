@@ -137,7 +137,7 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 		return err
 	case <-ctx.Done():
 	}
-	grace, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownGrace)
+	grace, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownGrace) //maprat:allow(ctxflow) shutdown grace window: ctx is already done here, the drain deadline must outlive it
 	defer cancel()
 	err := srv.Shutdown(grace)
 	// Drain the job subsystem too: queued jobs are canceled, running
@@ -169,6 +169,17 @@ func (s *Server) requestContext(r *http.Request) (context.Context, context.Cance
 // such group — are 404s. Everything else is an internal mining failure
 // and must surface as a 500, not be blamed on the client.
 func statusForError(err error) int { return api.StatusForError(err) }
+
+// htmlError is the HTML front-end's single text-error seam. The result
+// pages speak plain-text errors (their contract predates the v1
+// envelope, and browsers render them fine), but every status they carry
+// still comes from the same api.StatusForError mapping as the v1
+// surface, so the two front-ends cannot drift. Every other error path in
+// this package must go through this helper or the api envelope writers —
+// maprat-vet's envelope analyzer enforces it.
+func htmlError(w http.ResponseWriter, msg string, status int) {
+	http.Error(w, msg, status) //maprat:allow(envelope) the HTML front-end's one sanctioned text-error seam; statuses still come from api.StatusForError
+}
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintln(w, "ok")
@@ -268,7 +279,7 @@ func requireGet(w http.ResponseWriter, r *http.Request) bool {
 		return true
 	}
 	w.Header().Set("Allow", "GET")
-	http.Error(w, "method "+r.Method+" not allowed (use GET)", http.StatusMethodNotAllowed)
+	htmlError(w, "method "+r.Method+" not allowed (use GET)", http.StatusMethodNotAllowed)
 	return false
 }
 
@@ -278,14 +289,14 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	}
 	_, req, err := s.parseRequest(r)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		htmlError(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
 	ex, err := s.eng.ExplainContext(ctx, req)
 	if err != nil {
-		http.Error(w, err.Error(), statusForError(err))
+		htmlError(w, err.Error(), statusForError(err))
 		return
 	}
 	v := s.eng.RenderExploration(ex)
@@ -329,12 +340,12 @@ func (s *Server) handleGroup(w http.ResponseWriter, r *http.Request) {
 	}
 	p, req, err := s.parseRequest(r)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		htmlError(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	key, err := p.GroupKey()
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		htmlError(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	ctx, cancel := s.requestContext(r)
@@ -345,7 +356,7 @@ func (s *Server) handleGroup(w http.ResponseWriter, r *http.Request) {
 	// best-effort call whose cancellation was silently swallowed.
 	ge, err := s.eng.ExploreFullContext(ctx, req.Query, key, 0, 8)
 	if err != nil {
-		http.Error(w, err.Error(), statusForError(err))
+		htmlError(w, err.Error(), statusForError(err))
 		return
 	}
 	st := ge.Stats
@@ -380,7 +391,7 @@ func (s *Server) handleGroup(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleBrowse(w http.ResponseWriter, r *http.Request) {
 	states := s.eng.BrowseStates()
 	if states == nil {
-		http.Error(w, "browse mode needs the precomputed global cube", http.StatusServiceUnavailable)
+		htmlError(w, "browse mode needs the precomputed global cube", http.StatusServiceUnavailable)
 		return
 	}
 	m := viz.Map{Title: "All ratings by state (whole log)"}
@@ -405,14 +416,14 @@ func (s *Server) handleEvolution(w http.ResponseWriter, r *http.Request) {
 	}
 	_, req, err := s.parseRequest(r)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		htmlError(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
 	points, err := s.eng.EvolutionContext(ctx, req)
 	if err != nil {
-		http.Error(w, err.Error(), statusForError(err))
+		htmlError(w, err.Error(), statusForError(err))
 		return
 	}
 	type row struct {
@@ -511,6 +522,6 @@ func writeJSONError(w http.ResponseWriter, code int, err error) {
 func render(w http.ResponseWriter, t *template.Template, data any) {
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	if err := t.Execute(w, data); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		htmlError(w, err.Error(), http.StatusInternalServerError)
 	}
 }

@@ -88,6 +88,13 @@ func decode(data []byte, mapped bool, opts Options) (*Snapshot, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Every record costs at least one byte, so any count beyond the file
+	// size is corrupt. Rejecting here also keeps the int conversions and
+	// size arithmetic below from overflowing on a hostile header.
+	if n := uint64(len(data)); hdr.Users > n || hdr.Items > n || hdr.Ratings > n {
+		return nil, fmt.Errorf("%w: header counts %d/%d/%d exceed the %d-byte file",
+			ErrTruncated, hdr.Users, hdr.Items, hdr.Ratings, len(data))
+	}
 	s := &Snapshot{hdr: hdr, data: data, mapped: mapped}
 
 	strSec, err := hdr.section(data, secStrings)
@@ -408,6 +415,14 @@ func decodeItemIndex(b []byte, items []model.Item, ratings int, opts Options) (m
 			arena[i] = int32(le.Uint32(arenaBytes[4*i:]))
 		}
 	}
+	// The arena holds indices into the tuple log; reject any that point
+	// outside it, or a corrupted file would panic consumers at mining
+	// time instead of failing here.
+	for i, v := range arena {
+		if v < 0 || int(v) >= ratings {
+			return nil, fmt.Errorf("snapshot: item index entry %d is %d, outside the %d-tuple log", i, v, ratings)
+		}
+	}
 	m := make(map[int][]int32, n)
 	prev := uint32(0)
 	for i := 0; i < n; i++ {
@@ -432,6 +447,12 @@ func decodeMeta(b []byte) (map[string]string, error) {
 	}
 	n := int(le.Uint32(b))
 	b = b[4:]
+	// Each entry needs at least its two length words, so a count beyond
+	// len(b)/8 cannot be satisfied; bounding it here keeps a corrupt count
+	// from becoming a huge allocation via the map size hint below.
+	if n > len(b)/8 {
+		return nil, fmt.Errorf("%w: meta section claims %d entries in %d bytes", ErrTruncated, n, len(b))
+	}
 	m := make(map[string]string, n)
 	for i := 0; i < n; i++ {
 		if len(b) < 8 {

@@ -145,7 +145,7 @@ func (pc *PlanCache) GetOrBuild(ctx context.Context, key string, build func() (*
 		pc.hits++
 		pc.mu.Unlock()
 	}
-	return v.(*Plan), sharedFlight, nil
+	return v.(*Plan), sharedFlight, nil //maprat:allow(clonecheck) GetOrBuild is the plan cache's own API; Plan is immutable by contract and documented above
 }
 
 // lookup returns the cached plan for key, counting and marking a hit

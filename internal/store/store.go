@@ -169,7 +169,7 @@ func Open(ds *model.Dataset, opts Options) (*Store, error) {
 	// rating join runs.
 	var itemWG sync.WaitGroup
 	itemWG.Add(1)
-	go func() {
+	go func() { //maprat:allow(ctxflow) startup join helper: bounded CPU work joined by itemWG.Wait before Open returns
 		defer itemWG.Done()
 		s.buildItemIndexes()
 	}()
@@ -265,7 +265,7 @@ func (s *Store) joinRatings() error {
 		lo := w * len(ds.Ratings) / workers
 		hi := (w + 1) * len(ds.Ratings) / workers
 		wg.Add(1)
-		go func(sh *shard, lo, hi int) {
+		go func(sh *shard, lo, hi int) { //maprat:allow(ctxflow) startup join shard: bounded CPU work joined by wg.Wait before Open returns
 			defer wg.Done()
 			sh.itemTuples = make(map[int][]int32)
 			for i := lo; i < hi; i++ {
@@ -342,7 +342,7 @@ func (s *Store) joinRatings() error {
 			lo := w * len(ids) / workers
 			hi := (w + 1) * len(ids) / workers
 			sw.Add(1)
-			go func(part []int) {
+			go func(part []int) { //maprat:allow(ctxflow) startup sort shard: bounded CPU work joined by sw.Wait before Open returns
 				defer sw.Done()
 				sortShard(part)
 			}(ids[lo:hi])

@@ -323,7 +323,7 @@ func groupNotFound(key Key, q Query) error {
 // R_I, construct the candidate groups, and solve each requested mining
 // sub-problem with RHE.
 func (e *Engine) Explain(req ExplainRequest) (*Explanation, error) {
-	return e.ExplainContext(context.Background(), req)
+	return e.ExplainContext(context.Background(), req) //maprat:allow(ctxflow) compat wrapper: preserves the pre-context API
 }
 
 // ExplainContext is Explain with a request lifecycle: mining stops between
@@ -480,7 +480,7 @@ func (e *Engine) planFor(ctx context.Context, q Query, base cube.Config) (*store
 	p, _, err := pc.GetOrBuild(ctx, planKey(q, base), func() (*store.Plan, error) {
 		return e.buildPlan(q, base)
 	})
-	return p, err
+	return p, err //maprat:allow(clonecheck) store.Plan is immutable by contract (see the Plan doc); consumers only read, so the shared pointer is safe
 }
 
 // PlanStats returns a snapshot of the materialization tier's counters
@@ -625,7 +625,7 @@ type GroupExploration struct {
 // group: full statistics (histogram, city drill-down, timeline) plus the
 // sibling groups to compare against.
 func (e *Engine) ExploreGroup(q Query, key Key, buckets int) (*GroupStats, []GroupResult, error) {
-	return e.ExploreGroupContext(context.Background(), q, key, buckets)
+	return e.ExploreGroupContext(context.Background(), q, key, buckets) //maprat:allow(ctxflow) compat wrapper: preserves the pre-context API
 }
 
 // ExploreGroupContext is ExploreGroup with cancellation between the
@@ -641,7 +641,7 @@ func (e *Engine) ExploreGroupContext(ctx context.Context, q Query, key Key, buck
 
 // ExploreFull is ExploreFullContext without cancellation.
 func (e *Engine) ExploreFull(q Query, key Key, buckets, refineLimit int) (*GroupExploration, error) {
-	return e.ExploreFullContext(context.Background(), q, key, buckets, refineLimit)
+	return e.ExploreFullContext(context.Background(), q, key, buckets, refineLimit) //maprat:allow(ctxflow) compat wrapper: preserves the pre-context API
 }
 
 // ExploreFullContext computes the whole per-group exploration — stats,
@@ -710,7 +710,7 @@ type Refinement struct {
 // group for the query, capped at limit (0 = all) — the paper's "drill
 // deeper" exploration beyond city statistics.
 func (e *Engine) RefineGroup(q Query, key Key, limit int) ([]Refinement, error) {
-	return e.RefineGroupContext(context.Background(), q, key, limit)
+	return e.RefineGroupContext(context.Background(), q, key, limit) //maprat:allow(ctxflow) compat wrapper: preserves the pre-context API
 }
 
 // RefineGroupContext is RefineGroup with cancellation between the
@@ -737,7 +737,7 @@ func (e *Engine) RefineGroupContext(ctx context.Context, q Query, key Key, limit
 // a state, the drill down provides city level" views). The returned
 // TaskResult's groups all carry a city condition.
 func (e *Engine) DrillMine(q Query, parent Key, task Task, s Settings) (*TaskResult, error) {
-	return e.DrillMineContext(context.Background(), q, parent, task, s)
+	return e.DrillMineContext(context.Background(), q, parent, task, s) //maprat:allow(ctxflow) compat wrapper: preserves the pre-context API
 }
 
 // DrillMineContext is DrillMine with cancellation threaded through the
@@ -843,7 +843,7 @@ type EvolutionPoint struct {
 // §3.1 time slider ("observe reviewer groups ... and how they change over
 // time").
 func (e *Engine) Evolution(req ExplainRequest) ([]EvolutionPoint, error) {
-	return e.EvolutionContext(context.Background(), req)
+	return e.EvolutionContext(context.Background(), req) //maprat:allow(ctxflow) compat wrapper: preserves the pre-context API
 }
 
 // EvolutionContext is Evolution with cancellation: the sweep stops at the
