@@ -1,0 +1,146 @@
+// Command maprat-coord runs the scatter-gather coordinator: it serves
+// the exact same web pages and /api/v1 surface as maprat-server, but
+// answers queries by fanning sub-queries out over a fleet of
+// maprat-server workers (each holding a full copy of one dataset),
+// merging the gathered slices, and mining the merged cube locally. A
+// complete distributed answer is byte-identical to the single-node one;
+// a partial fleet degrades gracefully (the response carries a
+// `degraded` field naming the missing shards) instead of failing.
+//
+//	maprat-coord -addr :8090 -worker http://h1:8080 -worker http://h2:8080
+//
+// /statsz gains a "shards" section: gather/hedge/failover counters and
+// each worker's circuit-breaker state.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/jobs"
+	"repro/internal/server"
+	"repro/internal/shard"
+)
+
+// multiFlag collects a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("maprat-coord: ")
+
+	var (
+		addr      = flag.String("addr", ":8090", "listen address")
+		dataset   = flag.String("dataset", "", "dataset mount to use on the workers (default: their default mount)")
+		slots     = flag.Int("slots", 0, "consistent-hash slot count (0 = default 64)")
+		seed      = flag.Int64("seed", 1, "jitter stream seed")
+		timeout   = flag.Duration("timeout", server.DefaultRequestTimeout, "per-request mining timeout")
+		accessLog = flag.Bool("access-log", true, "log /api/v1 requests")
+		gzipOn    = flag.Bool("gzip", true, "offer gzip-compressed /api/v1 responses to clients that accept it")
+
+		shardTimeout    = flag.Duration("shard-timeout", 0, "per-worker call deadline (0 = default 5s)")
+		attempts        = flag.Int("attempts", 0, "tries per slot batch, first included (0 = default 2)")
+		backoff         = flag.Duration("backoff", 0, "base retry backoff, doubling and jittered (0 = default 50ms)")
+		hedgeAfter      = flag.Duration("hedge-after", 0, "hedging delay floor; negative disables hedging (0 = default 30ms)")
+		breakerFailures = flag.Int("breaker-failures", 0, "consecutive failures that open a worker's circuit (0 = default 3)")
+		breakerOpen     = flag.Duration("breaker-open", 0, "open-circuit cooldown before a half-open probe (0 = default 2s)")
+		healthInterval  = flag.Duration("health-interval", 0, "background health-probe cadence (0 = default 1s)")
+		bootTimeout     = flag.Duration("boot-timeout", 30*time.Second, "how long to keep retrying the boot handshake before giving up")
+
+		jobWorkers = flag.Int("job-workers", 0, "async jobs executed concurrently (0 = default)")
+		jobQueue   = flag.Int("job-queue", 0, "async job admission queue depth (0 = default)")
+		jobTTL     = flag.Duration("job-ttl", 0, "how long finished job results stay retrievable (0 = default)")
+		jobTimeout = flag.Duration("job-timeout", 0, "per-job mining timeout (0 = default)")
+	)
+	var workers multiFlag
+	flag.Var(&workers, "worker", "worker base URL, e.g. http://host:8080 (repeatable, required)")
+	flag.Parse()
+	if len(workers) == 0 {
+		log.Fatal("at least one -worker is required")
+	}
+
+	// SIGINT/SIGTERM drain in-flight requests before exiting; a second
+	// signal kills the process the default way.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	context.AfterFunc(ctx, stop)
+
+	scfg := shard.Config{
+		Workers:         workers,
+		NumSlots:        *slots,
+		Dataset:         *dataset,
+		ShardTimeout:    *shardTimeout,
+		Attempts:        *attempts,
+		Backoff:         *backoff,
+		HedgeAfter:      *hedgeAfter,
+		BreakerFailures: *breakerFailures,
+		BreakerOpen:     *breakerOpen,
+		HealthInterval:  *healthInterval,
+		Seed:            *seed,
+	}
+	coord, err := boot(ctx, scfg, *bootTimeout)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := coord.DatasetStats()
+	log.Printf("fleet of %d worker(s) ready: %d ratings, %d movies, %d reviewers, fingerprint %016x",
+		len(workers), st.Ratings, st.Items, st.Users, coord.Fingerprint())
+
+	name := *dataset
+	if name == "" {
+		name = "default"
+	}
+	reg := maprat.NewSingleRegistry(name, coord, maprat.DatasetInfo{Source: "shards"})
+	defer reg.Close()
+
+	cfg := server.Config{
+		RequestTimeout: *timeout,
+		EnableGzip:     *gzipOn,
+		Jobs: jobs.Config{
+			Workers:    *jobWorkers,
+			Queue:      *jobQueue,
+			ResultTTL:  *jobTTL,
+			JobTimeout: *jobTimeout,
+		},
+	}
+	if *accessLog {
+		cfg.AccessLog = log.Default()
+	}
+	log.Printf("listening on %s", *addr)
+	srv := server.NewMulti(reg, cfg)
+	if err := srv.ListenAndServe(ctx, *addr); err != nil {
+		log.Fatal(err)
+	}
+	log.Print("shut down cleanly")
+}
+
+// boot retries the fleet handshake until it succeeds or the budget runs
+// out: coordinator and workers usually start together (compose files,
+// CI smoke scripts), so "no worker up yet" is the normal first second.
+func boot(ctx context.Context, cfg shard.Config, budget time.Duration) (*shard.Coordinator, error) {
+	deadline := time.Now().Add(budget)
+	for {
+		coord, err := shard.New(ctx, cfg)
+		if err == nil {
+			return coord, nil
+		}
+		if time.Now().After(deadline) || ctx.Err() != nil {
+			return nil, err
+		}
+		log.Printf("boot handshake failed (%v); retrying", err)
+		select {
+		case <-time.After(500 * time.Millisecond):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}

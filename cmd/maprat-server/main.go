@@ -66,7 +66,7 @@ func main() {
 		log.Fatal(err)
 	}
 	for _, m := range reg.Mounts() {
-		st := m.Engine.Dataset().Stats()
+		st := m.Engine.DatasetStats()
 		log.Printf("dataset %q (%s) ready in %s: %d ratings, %d movies, %d reviewers, fingerprint %016x",
 			m.Name, m.Info.Source, m.Info.OpenDuration.Round(time.Millisecond),
 			st.Ratings, st.Items, st.Users, m.Engine.Fingerprint())

@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
 	"os/signal"
@@ -96,6 +97,12 @@ func runRemoteAsync(ctx context.Context, c *client.Client, o remoteOpts) error {
 		return nil
 	})
 	if err != nil {
+		// A job that ran and failed arrives as a typed error; the job is
+		// already terminal, so there is nothing to cancel.
+		var jfe *client.JobFailedError
+		if errors.As(err, &jfe) {
+			return fmt.Errorf("job %s failed: %s: %s", jfe.ID, jfe.Code, jfe.Message)
+		}
 		if ctx.Err() != nil {
 			// Interrupted: cancel server-side on a fresh context so the
 			// worker slot frees immediately.
@@ -110,10 +117,7 @@ func runRemoteAsync(ctx context.Context, c *client.Client, o remoteOpts) error {
 	case "canceled":
 		return fmt.Errorf("job %s canceled", st.ID)
 	default:
-		if st.Error != nil {
-			return fmt.Errorf("job %s failed: %s: %s", st.ID, st.Error.Code, st.Error.Message)
-		}
-		return fmt.Errorf("job %s failed", st.ID)
+		return fmt.Errorf("job %s ended in unexpected state %q", st.ID, st.State)
 	}
 	return renderRemoteResult(st, o)
 }

@@ -115,6 +115,9 @@ func NewMulti(reg *maprat.Registry, cfg Config) *Handler {
 	h.mux.Handle("/api/v1/jobs", h.wrap("jobs_submit", h.handleJobs))
 	h.mux.Handle("/api/v1/jobs/{id}", h.wrap("jobs_get", h.handleJob))
 	h.mux.Handle("/api/v1/jobs/{id}/events", h.wrap("jobs_events", h.handleJobEvents))
+	// The worker-side scatter-gather surface the coordinator fans out to.
+	h.mux.Handle("/api/v1/shard/info", h.wrap("shard_info", h.handleShardInfo))
+	h.mux.Handle("/api/v1/shard/gather", h.wrap("shard_gather", h.handleShardGather))
 	// Routing failures reuse the envelope shape but carry the status the
 	// condition deserves: 404 for a path that doesn't exist, 405 (with
 	// Allow) for a method the endpoint doesn't support — see notFound and
@@ -153,8 +156,10 @@ func datasetName(r *http.Request, explicit string) string {
 	return r.Header.Get("X-Maprat-Dataset")
 }
 
-// lookupEngine resolves a dataset name against the registry.
-func (h *Handler) lookupEngine(name string) (*maprat.Engine, bool) {
+// lookupEngine resolves a dataset name against the registry. The miner
+// may be a local engine or a coordinator; handlers that need store
+// access type-assert (see handleShardGather).
+func (h *Handler) lookupEngine(name string) (maprat.Miner, bool) {
 	m, ok := h.reg.Lookup(name)
 	if !ok {
 		return nil, false
@@ -162,10 +167,10 @@ func (h *Handler) lookupEngine(name string) (*maprat.Engine, bool) {
 	return m.Engine, true
 }
 
-// resolveEngine picks the engine a request mines against, answering the
+// resolveEngine picks the miner a request mines against, answering the
 // dataset_not_found envelope itself when the named dataset is not
 // mounted.
-func (h *Handler) resolveEngine(w http.ResponseWriter, r *http.Request, explicit string) (*maprat.Engine, bool) {
+func (h *Handler) resolveEngine(w http.ResponseWriter, r *http.Request, explicit string) (maprat.Miner, bool) {
 	name := datasetName(r, explicit)
 	eng, ok := h.lookupEngine(name)
 	if !ok {
@@ -239,6 +244,7 @@ func (h *Handler) handleExplain(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	markDegraded(w, ex.Degraded)
 	WriteJSON(w, explainDTO(ex))
 }
 
@@ -268,6 +274,7 @@ func (h *Handler) handleGroup(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	markDegraded(w, ge.Degraded)
 	WriteJSON(w, groupResponseDTO(req.Query.String(), ge))
 }
 
@@ -287,15 +294,17 @@ func (h *Handler) handleRefine(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := h.requestContext(r)
 	defer cancel()
-	refs, err := eng.RefineGroupContext(ctx, req.Query, key, limit)
+	refs, missing, err := refineWithDegraded(ctx, eng, req.Query, key, limit)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
+	markDegraded(w, missing)
 	WriteJSON(w, &RefinementsResponse{
 		Query:       req.Query.String(),
 		Key:         key.Param(),
 		Refinements: refinementDTOs(refs),
+		Degraded:    missing,
 	})
 }
 
@@ -320,10 +329,12 @@ func (h *Handler) handleDrill(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	markDegraded(w, tr.Degraded)
 	WriteJSON(w, &DrillResponse{
-		Query:  req.Query.String(),
-		Parent: key.Param(),
-		Result: taskResultDTO(*tr),
+		Query:    req.Query.String(),
+		Parent:   key.Param(),
+		Result:   taskResultDTO(*tr),
+		Degraded: tr.Degraded,
 	})
 }
 
@@ -371,7 +382,9 @@ func (h *Handler) handleEvolution(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	WriteJSON(w, evolutionDTO(req.Query.String(), points))
+	resp := evolutionDTO(req.Query.String(), points)
+	markDegraded(w, resp.Degraded)
+	WriteJSON(w, resp)
 }
 
 func (h *Handler) handleBrowse(w http.ResponseWriter, r *http.Request) {
@@ -445,7 +458,7 @@ func (h *Handler) handleBatch(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		wg.Add(1)
-		go func(i int, req maprat.ExplainRequest, eng *maprat.Engine) {
+		go func(i int, req maprat.ExplainRequest, eng maprat.Miner) {
 			defer wg.Done()
 			// The recovery middleware only guards the handler's own
 			// goroutine; an unrecovered panic here would kill the whole

@@ -39,6 +39,10 @@ const (
 	// Multi-dataset serving: the request named a dataset that is not
 	// mounted on this server.
 	CodeDatasetNotFound ErrorCode = "dataset_not_found"
+	// Distributed serving: the coordinator could not reach enough workers
+	// to answer at all (partial failures degrade instead — see the
+	// `degraded` response field). 503; clients should retry.
+	CodeUnavailable ErrorCode = "unavailable"
 )
 
 // ErrorBody is the inner error object.
@@ -67,6 +71,8 @@ func CodeForError(err error) ErrorCode {
 		return CodeNoRatings
 	case errors.Is(err, maprat.ErrNoGroup):
 		return CodeNoGroup
+	case errors.Is(err, maprat.ErrUnavailable):
+		return CodeUnavailable
 	default:
 		return CodeInternal
 	}
@@ -86,6 +92,8 @@ func (c ErrorCode) HTTPStatus() int {
 		return http.StatusMethodNotAllowed
 	case CodeTimeout:
 		return http.StatusGatewayTimeout
+	case CodeUnavailable:
+		return http.StatusServiceUnavailable
 	case CodeCanceled:
 		return 499
 	default:

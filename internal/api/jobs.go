@@ -86,7 +86,7 @@ func (h *Handler) jobStatusDTO(s jobs.Snapshot, withResult bool) *JobStatus {
 // in the queue). The progress callback is threaded into
 // Settings.Progress, so restart completions inside core.SolveRHE surface
 // as job progress events.
-func (h *Handler) jobFn(eng *maprat.Engine, req JobSubmitRequest) (jobs.Fn, error) {
+func (h *Handler) jobFn(eng maprat.Miner, req JobSubmitRequest) (jobs.Fn, error) {
 	p := req.Params
 	wire := func(er *maprat.ExplainRequest, report func(jobs.Progress)) {
 		er.Settings.Progress = func(done, total int) {
@@ -145,7 +145,7 @@ func (h *Handler) jobFn(eng *maprat.Engine, req JobSubmitRequest) (jobs.Fn, erro
 			return nil, err
 		}
 		return func(ctx context.Context, report func(jobs.Progress)) (any, error) {
-			refs, err := eng.RefineGroupContext(ctx, er.Query, key, limit)
+			refs, missing, err := refineWithDegraded(ctx, eng, er.Query, key, limit)
 			if err != nil {
 				return nil, err
 			}
@@ -153,6 +153,7 @@ func (h *Handler) jobFn(eng *maprat.Engine, req JobSubmitRequest) (jobs.Fn, erro
 				Query:       er.Query.String(),
 				Key:         key.Param(),
 				Refinements: refinementDTOs(refs),
+				Degraded:    missing,
 			}, nil
 		}, nil
 	case "drill":
@@ -175,9 +176,10 @@ func (h *Handler) jobFn(eng *maprat.Engine, req JobSubmitRequest) (jobs.Fn, erro
 				return nil, err
 			}
 			return &DrillResponse{
-				Query:  er.Query.String(),
-				Parent: key.Param(),
-				Result: taskResultDTO(*tr),
+				Query:    er.Query.String(),
+				Parent:   key.Param(),
+				Result:   taskResultDTO(*tr),
+				Degraded: tr.Degraded,
 			}, nil
 		}, nil
 	case "evolution":

@@ -74,7 +74,11 @@ type statusRecorder struct {
 }
 
 func (r *statusRecorder) beforeHeaders(code int) {
-	if r.etag != "" && code == http.StatusOK {
+	// A degraded (partial) response never gets the strong ETag: the tag
+	// is a function of (dataset, request) and would also validate the
+	// complete representation, so a 304 after the fleet recovers would
+	// wrongly revalidate the partial payload a client cached.
+	if r.etag != "" && code == http.StatusOK && r.Header().Get(DegradedHeader) == "" {
 		r.ResponseWriter.Header().Set("ETag", r.etag)
 	}
 }

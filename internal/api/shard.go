@@ -1,0 +1,318 @@
+package api
+
+import (
+	"context"
+	"encoding/base64"
+	"encoding/binary"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"repro"
+	"repro/internal/cube"
+	"repro/internal/query"
+	"repro/internal/rng"
+	"repro/internal/store"
+)
+
+// This file is the worker side of the scatter-gather tier plus its wire
+// contract. It lives in internal/api (not internal/shard) because the
+// coordinator reaches workers through pkg/client, which depends on this
+// package for the wire types — defining them here keeps the dependency
+// graph acyclic: shard → client → api.
+
+// ShardInfoResponse is the /api/v1/shard/info payload: the worker's
+// dataset identity, used by the coordinator's boot handshake and health
+// loop. All workers of one coordinator must agree on Fingerprint — they
+// hold full copies of the same dataset and shard query work, not data.
+type ShardInfoResponse struct {
+	Dataset     string `json:"dataset"`
+	Fingerprint string `json:"fingerprint"` // %016x of the engine fingerprint
+	Users       int    `json:"users"`
+	Items       int    `json:"items"`
+	Ratings     int    `json:"ratings"`
+	MinUnix     int64  `json:"min_unix"`
+	MaxUnix     int64  `json:"max_unix"`
+}
+
+// ShardGatherRequest asks a worker for the R_I slice of a query owned by
+// a set of hash slots. The window travels explicitly (not inside Q) so
+// the worker never has to parse window syntax.
+type ShardGatherRequest struct {
+	// Q is the predicate-only query string (no window suffix).
+	Q string `json:"q"`
+	// NumSlots is the slot-space size; SlotOf(item, NumSlots) must agree
+	// between coordinator and worker or slices would overlap or leak.
+	NumSlots int `json:"num_slots"`
+	// Slots are the slot indices this worker owns for the request.
+	Slots []int `json:"slots"`
+	// The optional time window, mirroring store.TimeWindow.
+	From    int64 `json:"from,omitempty"`
+	To      int64 `json:"to,omitempty"`
+	HasFrom bool  `json:"has_from,omitempty"`
+	HasTo   bool  `json:"has_to,omitempty"`
+	// Dataset picks the worker's mount ("" = default).
+	Dataset string `json:"dataset,omitempty"`
+}
+
+// ShardGatherResponse carries one worker's slice of the gather. Items
+// are ALL resolved item IDs owned by the requested slots, ascending —
+// including items with zero ratings in the window, because the
+// single-node pipeline's ItemIDs also keeps them. Counts is
+// index-aligned with Items; Tuples concatenates each item's time-sorted
+// rating run in Items order, exactly as store.TuplesForItems would, so
+// the coordinator can splice shard slices back into the single-node
+// tuple order (which mining is sensitive to).
+type ShardGatherResponse struct {
+	Fingerprint string `json:"fingerprint"`
+	Items       []int  `json:"items"`
+	Counts      []int  `json:"counts"`
+	// Tuples is the packed little-endian tuple log, base64-encoded.
+	Tuples string `json:"tuples"`
+}
+
+// SlotOf maps an item ID onto one of n scatter slots. SplitMix64 rather
+// than modulo on the raw ID: synthetic IDs are dense integers, and a
+// plain mod would shard them in lockstep with generation order.
+func SlotOf(itemID, n int) int {
+	return int(rng.Mix(uint64(int64(itemID)), 0x51075) % uint64(n))
+}
+
+// tupleWireBytes is the packed size of one cube.Tuple on the wire:
+// NumAttrs little-endian int16 values, the int8 score, the int64 unix
+// timestamp, and the two int32 IDs.
+const tupleWireBytes = 2*cube.NumAttrs + 1 + 8 + 4 + 4
+
+// EncodeTuples packs tuples into the base64 wire form.
+func EncodeTuples(ts []cube.Tuple) string {
+	buf := make([]byte, len(ts)*tupleWireBytes)
+	off := 0
+	for i := range ts {
+		t := &ts[i]
+		for a := 0; a < cube.NumAttrs; a++ {
+			binary.LittleEndian.PutUint16(buf[off:], uint16(t.Vals[a]))
+			off += 2
+		}
+		buf[off] = byte(t.Score)
+		off++
+		binary.LittleEndian.PutUint64(buf[off:], uint64(t.Unix))
+		off += 8
+		binary.LittleEndian.PutUint32(buf[off:], uint32(t.UserID))
+		off += 4
+		binary.LittleEndian.PutUint32(buf[off:], uint32(t.ItemID))
+		off += 4
+	}
+	return base64.StdEncoding.EncodeToString(buf)
+}
+
+// DecodeTuples unpacks the base64 wire form produced by EncodeTuples.
+func DecodeTuples(s string) ([]cube.Tuple, error) {
+	buf, err := base64.StdEncoding.DecodeString(s)
+	if err != nil {
+		return nil, fmt.Errorf("shard tuples: %w", err)
+	}
+	if len(buf)%tupleWireBytes != 0 {
+		return nil, fmt.Errorf("shard tuples: %d bytes is not a multiple of the %d-byte record", len(buf), tupleWireBytes)
+	}
+	ts := make([]cube.Tuple, len(buf)/tupleWireBytes)
+	off := 0
+	for i := range ts {
+		t := &ts[i]
+		for a := 0; a < cube.NumAttrs; a++ {
+			t.Vals[a] = int16(binary.LittleEndian.Uint16(buf[off:]))
+			off += 2
+		}
+		t.Score = int8(buf[off])
+		off++
+		t.Unix = int64(binary.LittleEndian.Uint64(buf[off:]))
+		off += 8
+		t.UserID = int32(binary.LittleEndian.Uint32(buf[off:]))
+		off += 4
+		t.ItemID = int32(binary.LittleEndian.Uint32(buf[off:]))
+		off += 4
+	}
+	return ts, nil
+}
+
+// FingerprintString renders an engine fingerprint in the wire form both
+// shard endpoints use.
+func FingerprintString(fp uint64) string { return fmt.Sprintf("%016x", fp) }
+
+// handleShardInfo answers the worker identity handshake. It works on any
+// mounted miner — the fields all come from the Miner surface.
+func (h *Handler) handleShardInfo(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet, http.MethodHead:
+	default:
+		methodNotAllowed(w, "GET", "method "+r.Method+" not allowed (use GET)")
+		return
+	}
+	m, ok := h.reg.Lookup(datasetName(r, ""))
+	if !ok {
+		writeEnvelope(w, CodeDatasetNotFound, datasetNotFoundMsg(datasetName(r, ""), h.reg.Names()))
+		return
+	}
+	st := m.Engine.DatasetStats()
+	lo, hi := m.Engine.TimeRange()
+	WriteJSON(w, &ShardInfoResponse{
+		Dataset:     m.Name,
+		Fingerprint: FingerprintString(m.Engine.Fingerprint()),
+		Users:       st.Users,
+		Items:       st.Items,
+		Ratings:     st.Ratings,
+		MinUnix:     lo,
+		MaxUnix:     hi,
+	})
+}
+
+// handleShardGather serves one worker's slice of a scatter-gather query:
+// resolve the query locally, keep the items whose slot the request owns,
+// and return their tuple runs. Requires a local engine — a coordinator
+// cannot be a gather worker for another coordinator.
+func (h *Handler) handleShardGather(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		methodNotAllowed(w, http.MethodPost, "shard gather requires POST")
+		return
+	}
+	var req ShardGatherRequest
+	if err := decodeBody(r, &req); err != nil {
+		decodeFail(w, err)
+		return
+	}
+	if req.NumSlots <= 0 {
+		decodeFail(w, badRequestf("num_slots must be positive"))
+		return
+	}
+	if len(req.Slots) == 0 {
+		decodeFail(w, badRequestf("empty slot set"))
+		return
+	}
+	m, ok := h.resolveEngine(w, r, req.Dataset)
+	if !ok {
+		return
+	}
+	eng, ok := m.(*maprat.Engine)
+	if !ok {
+		writeEnvelope(w, CodeBadRequest, "shard gather requires a worker with a local engine")
+		return
+	}
+	q, err := query.Parse(req.Q)
+	if err != nil {
+		decodeFail(w, badRequestf("%v", err))
+		return
+	}
+	q.Window = store.TimeWindow{From: req.From, To: req.To, HasFrom: req.HasFrom, HasTo: req.HasTo}
+	ids, err := query.Resolve(eng.Store(), q)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	owned := make(map[int]bool, len(req.Slots))
+	for _, s := range req.Slots {
+		if s < 0 || s >= req.NumSlots {
+			decodeFail(w, badRequestf("slot %d out of range [0,%d)", s, req.NumSlots))
+			return
+		}
+		owned[s] = true
+	}
+	var mine []int
+	for _, id := range ids {
+		if owned[SlotOf(id, req.NumSlots)] {
+			mine = append(mine, id)
+		}
+	}
+	tuples := eng.Store().TuplesForItems(mine, q.Window)
+	// TuplesForItems appends one time-sorted run per item, in item order;
+	// recover the per-item boundaries with a single pass.
+	counts := make([]int, len(mine))
+	pos := 0
+	for i, id := range mine {
+		n := 0
+		for pos < len(tuples) && tuples[pos].ItemID == int32(id) {
+			n++
+			pos++
+		}
+		counts[i] = n
+	}
+	WriteJSON(w, &ShardGatherResponse{
+		Fingerprint: FingerprintString(eng.Fingerprint()),
+		Items:       mine,
+		Counts:      counts,
+		Tuples:      EncodeTuples(tuples),
+	})
+}
+
+// ShardStats is the coordinator's "shards" /statsz section:
+// scatter-gather counters plus one row per worker with its
+// circuit-breaker state. Defined here (not in internal/shard) so the
+// HTTP server renders it without importing the coordinator package.
+type ShardStats struct {
+	// Slots is the size of the consistent-hash slot space.
+	Slots int `json:"slots"`
+	// Gathers counts completed scatter-gather rounds (plan builds that
+	// reached the fan-out, successful or degraded).
+	Gathers uint64 `json:"gathers"`
+	// Degraded counts gathers that completed with missing shards.
+	Degraded uint64 `json:"degraded"`
+	// Failovers counts slot batches reassigned to a backup worker after
+	// their primary failed a gather round.
+	Failovers uint64 `json:"failovers"`
+	// Hedges counts backup requests launched because a primary crossed
+	// the hedging latency threshold; HedgeWins counts the backups whose
+	// response was actually used.
+	Hedges    uint64 `json:"hedges"`
+	HedgeWins uint64 `json:"hedge_wins"`
+	// Retries counts per-batch retry attempts beyond the first try.
+	Retries uint64 `json:"retries"`
+
+	Workers []ShardWorkerStats `json:"workers"`
+}
+
+// ShardWorkerStats is one worker's health row.
+type ShardWorkerStats struct {
+	Name string `json:"name"`
+	// State is the circuit-breaker state: "closed", "open" or
+	// "half-open".
+	State string `json:"state"`
+	// Failures/Successes count breaker-visible call outcomes (canceled
+	// hedges and parent-context cancellations are not charged).
+	Failures  uint64 `json:"failures"`
+	Successes uint64 `json:"successes"`
+	// Opened/HalfOpened count state transitions into open / half-open.
+	Opened     uint64 `json:"opened"`
+	HalfOpened uint64 `json:"half_opened"`
+}
+
+// DegradedHeader flags a partial (degraded) response and carries the
+// missing shard list; the middleware suppresses the strong ETag when it
+// is set, because a degraded representation must never validate a later
+// 304 for the complete one.
+const DegradedHeader = "X-Maprat-Degraded"
+
+// markDegraded marks a response as degraded when the missing-shard list
+// is non-empty. Degraded responses are also made uncacheable.
+func markDegraded(w http.ResponseWriter, missing []string) {
+	if len(missing) == 0 {
+		return
+	}
+	w.Header().Set(DegradedHeader, strings.Join(missing, ","))
+	w.Header().Set("Cache-Control", "no-store")
+}
+
+// DegradedRefiner is the optional Miner extension a distributed tier
+// implements so the refine pipeline can report missing shards —
+// RefineGroupContext's return shape has nowhere to carry them.
+type DegradedRefiner interface {
+	RefineGroupDegraded(ctx context.Context, q maprat.Query, key maprat.Key, limit int) ([]maprat.Refinement, []string, error)
+}
+
+// refineWithDegraded runs the refine pipeline, using the degraded-aware
+// form when the miner provides one. Both the HTTP handler and the async
+// job op call through here.
+func refineWithDegraded(ctx context.Context, m maprat.Miner, q maprat.Query, key maprat.Key, limit int) ([]maprat.Refinement, []string, error) {
+	if dr, ok := m.(DegradedRefiner); ok {
+		return dr.RefineGroupDegraded(ctx, q, key, limit)
+	}
+	refs, err := m.RefineGroupContext(ctx, q, key, limit)
+	return refs, nil, err
+}

@@ -1,0 +1,195 @@
+// Package fault is a deterministic fault-injection HTTP transport for
+// chaos-testing the scatter-gather tier. It sits behind the SDK's
+// http.RoundTripper seam (client.WithHTTPClient), so the code under test
+// is the real coordinator talking to real workers — only the network
+// between them misbehaves, on a seeded schedule that replays
+// identically run after run.
+package fault
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// Action is what a firing rule does to the request.
+type Action int
+
+const (
+	// Drop fails the request immediately with a synthetic connection
+	// error, like a RST or an unreachable host.
+	Drop Action = iota
+	// Delay adds latency, then forwards the request.
+	Delay
+	// Error answers a synthetic HTTP error (Rule.Status, default 502)
+	// without forwarding.
+	Error
+	// Hang blocks until the request's context ends — a wedged worker
+	// that accepts the connection and then goes silent. This is the case
+	// per-shard deadlines exist for.
+	Hang
+)
+
+// String names the action for counters and logs.
+func (a Action) String() string {
+	switch a {
+	case Drop:
+		return "drop"
+	case Delay:
+		return "delay"
+	case Error:
+		return "error"
+	case Hang:
+		return "hang"
+	default:
+		return fmt.Sprintf("action(%d)", int(a))
+	}
+}
+
+// Rule matches a subset of requests and injects one failure mode. The
+// first matching rule whose window and probability admit the request
+// wins; later rules are not consulted for it.
+type Rule struct {
+	// Host and Path select requests: Host matches the URL host exactly
+	// ("" = any), Path is a substring match on the URL path ("" = any).
+	Host string
+	Path string
+	// From/To bound the rule to a window of matching requests, counted
+	// per rule from 0: the rule can fire while From <= seq < To. To == 0
+	// means unbounded. The sequence number advances on every match, even
+	// when the window or probability passes the request through — "the
+	// 3rd request onward" stays the 3rd request regardless of P.
+	From, To int
+	// P is the probability the rule fires inside its window, drawn from
+	// the transport's seeded stream (<= 0 never fires, >= 1 always).
+	P float64
+	// Action is the injected failure mode.
+	Action Action
+	// Delay is the added latency for Delay rules.
+	Delay time.Duration
+	// Status is the synthetic status for Error rules (default 502).
+	Status int
+}
+
+func (r *Rule) matches(req *http.Request) bool {
+	if r.Host != "" && req.URL.Host != r.Host {
+		return false
+	}
+	return r.Path == "" || strings.Contains(req.URL.Path, r.Path)
+}
+
+// Transport is the injecting http.RoundTripper. Determinism contract:
+// with a fixed seed, fixed rules, and a fixed per-rule sequence of
+// matching requests, the same requests fail the same way — the
+// probability draws come from one seeded stream consumed in
+// rule-sequence order, not from wall-clock or global randomness.
+// Concurrent callers racing for the same draw are serialized by the
+// mutex; schedules for tests that must be exactly reproducible should
+// key rules on disjoint hosts (one worker = one host), which makes each
+// worker's draw sequence independent of goroutine interleaving.
+type Transport struct {
+	next http.RoundTripper
+
+	mu    sync.Mutex
+	rules []Rule
+	seq   []int
+	draws []*rand.Rand
+	// injected counts fired rules by action, for test assertions.
+	injected map[Action]int
+}
+
+// New builds a transport injecting rules on top of next (nil next =
+// http.DefaultTransport). Each rule draws from its own SplitMix64
+// substream of seed, so one rule's firing pattern is independent of how
+// often the others match.
+func New(seed int64, next http.RoundTripper, rules ...Rule) *Transport {
+	if next == nil {
+		next = http.DefaultTransport
+	}
+	t := &Transport{
+		next:     next,
+		rules:    rules,
+		seq:      make([]int, len(rules)),
+		draws:    make([]*rand.Rand, len(rules)),
+		injected: make(map[Action]int),
+	}
+	for i := range rules {
+		t.draws[i] = rng.Sub(seed, int64(i))
+	}
+	return t
+}
+
+// Injected returns how many times rules with the action fired.
+func (t *Transport) Injected(a Action) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.injected[a]
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	var fired *Rule
+	t.mu.Lock()
+	for i := range t.rules {
+		r := &t.rules[i]
+		if !r.matches(req) {
+			continue
+		}
+		s := t.seq[i]
+		t.seq[i]++
+		if s < r.From || (r.To > 0 && s >= r.To) {
+			continue
+		}
+		if r.P < 1 && t.draws[i].Float64() >= r.P {
+			continue
+		}
+		fired = r
+		t.injected[r.Action]++
+		break
+	}
+	t.mu.Unlock()
+	if fired == nil {
+		return t.next.RoundTrip(req)
+	}
+	switch fired.Action {
+	case Drop:
+		return nil, fmt.Errorf("fault: dropped %s %s", req.Method, req.URL)
+	case Delay:
+		timer := time.NewTimer(fired.Delay)
+		defer timer.Stop()
+		select {
+		case <-timer.C:
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+		return t.next.RoundTrip(req)
+	case Error:
+		status := fired.Status
+		if status == 0 {
+			status = http.StatusBadGateway
+		}
+		body := fmt.Sprintf(`{"error":{"code":"internal","message":"fault: injected %d"}}`, status)
+		return &http.Response{
+			Status:        fmt.Sprintf("%d %s", status, http.StatusText(status)),
+			StatusCode:    status,
+			Proto:         "HTTP/1.1",
+			ProtoMajor:    1,
+			ProtoMinor:    1,
+			Header:        http.Header{"Content-Type": []string{"application/json"}},
+			Body:          io.NopCloser(strings.NewReader(body)),
+			ContentLength: int64(len(body)),
+			Request:       req,
+		}, nil
+	case Hang:
+		<-req.Context().Done()
+		return nil, req.Context().Err()
+	default:
+		return t.next.RoundTrip(req)
+	}
+}

@@ -1,0 +1,165 @@
+package fault
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// recordingNext counts forwarded requests and answers 200.
+type recordingNext struct{ calls int }
+
+func (n *recordingNext) RoundTrip(req *http.Request) (*http.Response, error) {
+	n.calls++
+	return &http.Response{
+		StatusCode: http.StatusOK,
+		Status:     "200 OK",
+		Header:     http.Header{},
+		Body:       io.NopCloser(strings.NewReader("ok")),
+		Request:    req,
+	}, nil
+}
+
+func get(t *testing.T, tr *Transport, url string) (*http.Response, error) {
+	t.Helper()
+	req, err := http.NewRequestWithContext(context.Background(), http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr.RoundTrip(req)
+}
+
+func TestDropAndWindow(t *testing.T) {
+	next := &recordingNext{}
+	// Drop requests 1 and 2 (0-indexed window [1,3)); pass the rest.
+	tr := New(1, next, Rule{Host: "w1", From: 1, To: 3, P: 1, Action: Drop})
+	var errs []bool
+	for i := 0; i < 5; i++ {
+		_, err := get(t, tr, "http://w1/api/v1/shard/gather")
+		errs = append(errs, err != nil)
+	}
+	want := []bool{false, true, true, false, false}
+	for i := range want {
+		if errs[i] != want[i] {
+			t.Errorf("request %d: failed=%v, want %v", i, errs[i], want[i])
+		}
+	}
+	if got := tr.Injected(Drop); got != 2 {
+		t.Errorf("Injected(Drop) = %d, want 2", got)
+	}
+	if next.calls != 3 {
+		t.Errorf("forwarded %d requests, want 3", next.calls)
+	}
+}
+
+func TestHostAndPathSelectors(t *testing.T) {
+	tr := New(1, &recordingNext{}, Rule{Host: "w1", Path: "/gather", P: 1, Action: Drop})
+	if _, err := get(t, tr, "http://w2/api/v1/shard/gather"); err != nil {
+		t.Errorf("other host injected: %v", err)
+	}
+	if _, err := get(t, tr, "http://w1/api/v1/shard/info"); err != nil {
+		t.Errorf("other path injected: %v", err)
+	}
+	if _, err := get(t, tr, "http://w1/api/v1/shard/gather"); err == nil {
+		t.Error("matching request not dropped")
+	}
+}
+
+func TestProbabilisticScheduleIsSeeded(t *testing.T) {
+	run := func(seed int64) []bool {
+		tr := New(seed, &recordingNext{}, Rule{P: 0.5, Action: Drop})
+		var pattern []bool
+		for i := 0; i < 64; i++ {
+			_, err := get(t, tr, "http://w1/x")
+			pattern = append(pattern, err != nil)
+		}
+		return pattern
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at request %d", i)
+		}
+	}
+	c := run(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced an identical 64-request schedule")
+	}
+}
+
+func TestErrorSynthesizesEnvelope(t *testing.T) {
+	next := &recordingNext{}
+	tr := New(1, next, Rule{P: 1, Action: Error, Status: 503})
+	resp, err := get(t, tr, "http://w1/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 503 {
+		t.Errorf("status = %d, want 503", resp.StatusCode)
+	}
+	var env struct {
+		Error struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatalf("body is not the JSON envelope: %v", err)
+	}
+	if env.Error.Code == "" {
+		t.Error("synthetic error body carries no envelope code")
+	}
+	if next.calls != 0 {
+		t.Error("Error action forwarded the request")
+	}
+}
+
+func TestDelayForwardsAndHonorsContext(t *testing.T) {
+	next := &recordingNext{}
+	tr := New(1, next, Rule{P: 1, Action: Delay, Delay: 10 * time.Millisecond})
+	start := time.Now()
+	if _, err := get(t, tr, "http://w1/x"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Errorf("delayed request returned after %v, want >= 10ms", d)
+	}
+	if next.calls != 1 {
+		t.Error("Delay did not forward")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, "http://w1/x", nil)
+	tr2 := New(1, next, Rule{P: 1, Action: Delay, Delay: time.Minute})
+	if _, err := tr2.RoundTrip(req); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("canceled delay returned %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestHangBlocksUntilContextEnds(t *testing.T) {
+	tr := New(1, &recordingNext{}, Rule{P: 1, Action: Hang})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, "http://w1/x", nil)
+	start := time.Now()
+	_, err := tr.RoundTrip(req)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("hang returned %v, want DeadlineExceeded", err)
+	}
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Errorf("hang returned after %v, before the context deadline", d)
+	}
+}

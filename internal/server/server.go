@@ -57,7 +57,14 @@ const (
 // context from the request (so a client that disconnects cancels its mine
 // mid-restart) bounded by Config.RequestTimeout.
 type Server struct {
-	eng *maprat.Engine // the default mount, serving the HTML pages
+	// def is the default mount: a local engine on maprat-server, a
+	// scatter-gather coordinator on maprat-coord. The HTML pages and the
+	// legacy API serve it.
+	def maprat.Miner
+	// eng is def when it is a local engine, nil otherwise; it gates the
+	// few features that need direct store/dataset access (item titles,
+	// result-cache stats).
+	eng *maprat.Engine
 	reg *maprat.Registry
 	mux *http.ServeMux
 	cfg Config
@@ -84,7 +91,9 @@ func NewMulti(reg *maprat.Registry, cfg Config) *Server {
 	if cfg.ShutdownGrace == 0 {
 		cfg.ShutdownGrace = DefaultShutdownGrace
 	}
-	s := &Server{eng: reg.Default().Engine, reg: reg, mux: http.NewServeMux(), cfg: cfg}
+	def := reg.Default().Engine
+	eng, _ := def.(*maprat.Engine)
+	s := &Server{def: def, eng: eng, reg: reg, mux: http.NewServeMux(), cfg: cfg}
 	s.api = api.NewMulti(reg, api.Config{
 		RequestTimeout: cfg.RequestTimeout,
 		MaxBatch:       cfg.MaxBatch,
@@ -216,14 +225,21 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		API      map[string]api.EndpointSnapshot `json:"api"`
 		Jobs     jobs.Stats                      `json:"jobs"`
 		Datasets []datasetStat                   `json:"datasets"`
+		Shards   *api.ShardStats                 `json:"shards,omitempty"`
 	}{
-		PlanCache: s.eng.PlanStats(),
-		Mines:     s.eng.MineCount(),
+		PlanCache: s.def.PlanStats(),
+		Mines:     s.def.MineCount(),
 		API:       s.api.MetricsSnapshot(),
 		Jobs:      s.api.JobStats(),
 	}
+	// A coordinator mount contributes its scatter-gather counters
+	// (per-worker breaker state, hedges, degraded responses).
+	if sp, ok := s.def.(interface{ ShardStats() api.ShardStats }); ok {
+		st := sp.ShardStats()
+		resp.Shards = &st
+	}
 	for _, m := range s.reg.Mounts() {
-		st := m.Engine.Dataset().Stats()
+		st := m.Engine.DatasetStats()
 		resp.Datasets = append(resp.Datasets, datasetStat{
 			Name:        m.Name,
 			Fingerprint: fmt.Sprintf("%016x", m.Engine.Fingerprint()),
@@ -236,9 +252,11 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			OpenMS:      float64(m.Info.OpenDuration.Microseconds()) / 1000,
 		})
 	}
-	if c := s.eng.Store().Cache(); c != nil {
-		resp.Result.Hits, resp.Result.Misses = c.Stats()
-		resp.Result.Entries = c.Len()
+	if s.eng != nil {
+		if c := s.eng.Store().Cache(); c != nil {
+			resp.Result.Hits, resp.Result.Misses = c.Stats()
+			resp.Result.Entries = c.Len()
+		}
 	}
 	api.WriteJSON(w, resp)
 }
@@ -248,8 +266,8 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		http.NotFound(w, r)
 		return
 	}
-	stats := s.eng.Dataset().Stats()
-	lo, hi := s.eng.TimeRange()
+	stats := s.def.DatasetStats()
+	lo, hi := s.def.TimeRange()
 	render(w, indexTmpl, map[string]any{
 		"Users":    stats.Users,
 		"Items":    stats.Items,
@@ -294,12 +312,12 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
-	ex, err := s.eng.ExplainContext(ctx, req)
+	ex, err := s.def.ExplainContext(ctx, req)
 	if err != nil {
 		htmlError(w, err.Error(), statusForError(err))
 		return
 	}
-	v := s.eng.RenderExploration(ex)
+	v := maprat.RenderExploration(ex)
 	type tab struct {
 		Title  string
 		SVG    template.HTML
@@ -316,9 +334,11 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	titles := make([]string, 0, len(ex.ItemIDs))
-	for _, id := range ex.ItemIDs {
-		if it := s.eng.Dataset().ItemByID(id); it != nil {
-			titles = append(titles, fmt.Sprintf("%s (%d)", it.Title, it.Year))
+	if s.eng != nil { // a coordinator has no local item catalog
+		for _, id := range ex.ItemIDs {
+			if it := s.eng.Dataset().ItemByID(id); it != nil {
+				titles = append(titles, fmt.Sprintf("%s (%d)", it.Title, it.Year))
+			}
 		}
 	}
 	render(w, explainTmpl, map[string]any{
@@ -354,7 +374,7 @@ func (s *Server) handleGroup(w http.ResponseWriter, r *http.Request) {
 	// the same materialized plan. A context deadline or disconnect in any
 	// stage propagates as 504/499 — refinements are no longer a separate
 	// best-effort call whose cancellation was silently swallowed.
-	ge, err := s.eng.ExploreFullContext(ctx, req.Query, key, 0, 8)
+	ge, err := s.def.ExploreFullContext(ctx, req.Query, key, 0, 8)
 	if err != nil {
 		htmlError(w, err.Error(), statusForError(err))
 		return
@@ -389,7 +409,7 @@ func (s *Server) handleGroup(w http.ResponseWriter, r *http.Request) {
 // handleBrowse renders the whole-log per-state choropleth from the
 // precomputed global cube — browse mode before any query is entered.
 func (s *Server) handleBrowse(w http.ResponseWriter, r *http.Request) {
-	states := s.eng.BrowseStates()
+	states := s.def.BrowseStates()
 	if states == nil {
 		htmlError(w, "browse mode needs the precomputed global cube", http.StatusServiceUnavailable)
 		return
@@ -421,7 +441,7 @@ func (s *Server) handleEvolution(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
-	points, err := s.eng.EvolutionContext(ctx, req)
+	points, err := s.def.EvolutionContext(ctx, req)
 	if err != nil {
 		htmlError(w, err.Error(), statusForError(err))
 		return
@@ -463,7 +483,7 @@ func (s *Server) handleAPIExplain(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
-	ex, err := s.eng.ExplainContext(ctx, req)
+	ex, err := s.def.ExplainContext(ctx, req)
 	if err != nil {
 		writeJSONError(w, statusForError(err), err)
 		return

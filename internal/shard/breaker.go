@@ -1,0 +1,153 @@
+package shard
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is the classic three-state circuit.
+type breakerState int
+
+const (
+	stateClosed breakerState = iota
+	stateOpen
+	stateHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case stateClosed:
+		return "closed"
+	case stateOpen:
+		return "open"
+	case stateHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// breaker is a per-worker circuit breaker. Closed admits everything;
+// `threshold` consecutive failures open it; an open breaker rejects
+// until `cooldown` has elapsed, then half-opens and admits probes at
+// most one per cooldown interval until one succeeds (closing the
+// circuit) or fails (re-opening it). Pacing probes by time rather than
+// by an in-flight flag means an admitted-but-abandoned probe (a hedge
+// race loss, a routing decision that assigned the worker no slots)
+// cannot wedge the half-open state: the slot simply re-arms after the
+// cooldown.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+
+	state    breakerState
+	fails    int // consecutive failures while closed
+	openedAt time.Time
+	probeAt  time.Time // last half-open probe admission
+
+	// Counters surfaced in WorkerStats.
+	successes, failures uint64
+	opened, halfOpened  uint64
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// Allow reports whether a call may proceed, consuming the half-open
+// probe slot when it admits one. In the open state the first Allow
+// after the cooldown transitions to half-open and admits its probe.
+func (b *breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stateClosed:
+		return true
+	case stateOpen:
+		if time.Since(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = stateHalfOpen
+		b.halfOpened++
+		b.probeAt = time.Now()
+		return true
+	default: // half-open
+		if time.Since(b.probeAt) < b.cooldown {
+			return false
+		}
+		b.probeAt = time.Now()
+		return true
+	}
+}
+
+// Routable is Allow without side effects: would a call be admitted
+// right now? Used to pick hedge targets and browse proxies without
+// consuming the half-open probe slot.
+func (b *breaker) Routable() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stateClosed:
+		return true
+	case stateOpen:
+		return time.Since(b.openedAt) >= b.cooldown
+	default:
+		return time.Since(b.probeAt) >= b.cooldown
+	}
+}
+
+// current returns the state for the health loop's triage.
+func (b *breaker) current() breakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Success reports a completed call; any non-closed state closes.
+func (b *breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.successes++
+	b.fails = 0
+	b.state = stateClosed
+}
+
+// Failure reports a failed call. A half-open probe failure re-opens
+// immediately; closed failures open once the consecutive-failure
+// threshold is hit. Callers must not report a failure caused by their
+// own context ending (a lost hedge race, a caller hangup) — that says
+// nothing about the worker.
+func (b *breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures++
+	switch b.state {
+	case stateHalfOpen:
+		b.state = stateOpen
+		b.openedAt = time.Now()
+		b.opened++
+	case stateClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.state = stateOpen
+			b.openedAt = time.Now()
+			b.opened++
+		}
+	case stateOpen:
+		// A straggler from before the trip; the circuit is already open.
+	}
+}
+
+// snapshot fills a WorkerStats row (Name is the caller's).
+func (b *breaker) snapshot() WorkerStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return WorkerStats{
+		State:      b.state.String(),
+		Failures:   b.failures,
+		Successes:  b.successes,
+		Opened:     b.opened,
+		HalfOpened: b.halfOpened,
+	}
+}

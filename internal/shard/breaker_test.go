@@ -1,0 +1,103 @@
+package shard
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerOpensAfterThreshold(t *testing.T) {
+	b := newBreaker(3, time.Hour)
+	for i := 0; i < 2; i++ {
+		b.Failure()
+		if !b.Allow() {
+			t.Fatalf("breaker opened after %d failures, threshold is 3", i+1)
+		}
+	}
+	b.Failure()
+	if b.Allow() {
+		t.Error("breaker still admits after hitting the threshold")
+	}
+	if got := b.snapshot(); got.State != "open" || got.Opened != 1 {
+		t.Errorf("snapshot = %+v, want open with Opened=1", got)
+	}
+}
+
+func TestBreakerSuccessResetsConsecutiveCount(t *testing.T) {
+	b := newBreaker(2, time.Hour)
+	b.Failure()
+	b.Success()
+	b.Failure()
+	if !b.Allow() {
+		t.Error("non-consecutive failures opened the breaker")
+	}
+}
+
+func TestBreakerHalfOpenProbeLifecycle(t *testing.T) {
+	b := newBreaker(1, 10*time.Millisecond)
+	b.Failure()
+	if b.Allow() {
+		t.Fatal("open breaker admitted before cooldown")
+	}
+	time.Sleep(15 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("cooldown elapsed but no half-open probe admitted")
+	}
+	// The probe slot is consumed: no second probe within the cooldown.
+	if b.Allow() {
+		t.Error("half-open admitted a second probe immediately")
+	}
+	b.Success()
+	if !b.Allow() {
+		t.Error("probe success did not close the breaker")
+	}
+	st := b.snapshot()
+	if st.State != "closed" || st.HalfOpened != 1 {
+		t.Errorf("snapshot = %+v, want closed with HalfOpened=1", st)
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	b := newBreaker(1, 5*time.Millisecond)
+	b.Failure()
+	time.Sleep(10 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("no probe admitted")
+	}
+	b.Failure()
+	if b.Allow() {
+		t.Error("failed probe did not re-open the breaker")
+	}
+	if st := b.snapshot(); st.Opened != 2 {
+		t.Errorf("Opened = %d, want 2", st.Opened)
+	}
+}
+
+func TestBreakerAbandonedProbeSelfHeals(t *testing.T) {
+	b := newBreaker(1, 5*time.Millisecond)
+	b.Failure()
+	time.Sleep(10 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("no probe admitted")
+	}
+	// The admitted probe is never reported (hedge race loss, unused
+	// routing decision). The slot must re-arm on its own.
+	time.Sleep(10 * time.Millisecond)
+	if !b.Allow() {
+		t.Error("abandoned probe wedged the half-open state")
+	}
+}
+
+func TestBreakerRoutableHasNoSideEffects(t *testing.T) {
+	b := newBreaker(1, 5*time.Millisecond)
+	b.Failure()
+	time.Sleep(10 * time.Millisecond)
+	for i := 0; i < 3; i++ {
+		if !b.Routable() {
+			t.Fatal("cooled-down breaker not routable")
+		}
+	}
+	// Routable consumed nothing: the actual probe is still available.
+	if !b.Allow() {
+		t.Error("Routable consumed the half-open probe slot")
+	}
+}

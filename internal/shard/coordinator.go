@@ -1,0 +1,598 @@
+// Package shard is the scatter-gather serving tier: a Coordinator
+// implements the full maprat.Miner surface over a fleet of
+// maprat-server workers instead of a local store. Workers hold complete
+// copies of one dataset (they shard query WORK, not data): the
+// coordinator hash-partitions a query's resolved items into slots,
+// routes each slot to a worker by rendezvous hashing, gathers the
+// per-item tuple runs, splices them back into the exact single-node
+// tuple order, and runs the unchanged RHE mining pipeline over the
+// merged cube — so a distributed answer is byte-identical to a
+// single-node one.
+//
+// The robustness machinery lives between those two halves: per-shard
+// deadlines, capped-exponential retries with seeded jitter, hedged
+// requests after a latency percentile, a per-worker circuit breaker fed
+// by a health-check loop, one round of failover reassignment, and —
+// when slots still cannot be gathered — graceful degradation: the
+// coordinator mines what it has and labels the result with the missing
+// shards rather than failing the query.
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro"
+	"repro/internal/api"
+	"repro/internal/cube"
+	"repro/internal/explore"
+	"repro/internal/rng"
+	"repro/internal/store"
+	"repro/pkg/client"
+)
+
+// Config parameterizes a Coordinator. The zero value of every field has
+// a usable default (applied by New); Workers is the only required one.
+type Config struct {
+	// Workers are the worker base URLs, e.g. "http://10.0.0.1:8080".
+	Workers []string
+	// NumSlots is the consistent-hash slot-space size (default 64).
+	// More slots spread load finer; the value must match across requests
+	// but is internal to one coordinator.
+	NumSlots int
+	// Cube is the pre-adaptation candidate-cube config; zero value means
+	// maprat.DefaultOptions().Cube.
+	Cube cube.Config
+	// Dataset selects the workers' mount ("" = their default).
+	Dataset string
+
+	// ShardTimeout bounds every single worker call (default 5s).
+	ShardTimeout time.Duration
+	// Attempts is the per-batch try budget, first try included
+	// (default 2).
+	Attempts int
+	// Backoff is the base delay between retries, doubling per attempt,
+	// capped at 2s, with seeded jitter (default 50ms).
+	Backoff time.Duration
+	// HedgeAfter is the floor for the hedging delay: a backup request is
+	// launched when a batch's primary has been silent for
+	// max(HedgeAfter, observed p95 batch latency). Negative disables
+	// hedging; zero means the 30ms default.
+	HedgeAfter time.Duration
+	// BreakerFailures consecutive failures open a worker's circuit
+	// (default 3); BreakerOpen is the open-state cooldown before a
+	// half-open probe (default 2s).
+	BreakerFailures int
+	BreakerOpen     time.Duration
+	// HealthInterval paces the background probe loop that walks
+	// non-closed breakers (default 1s).
+	HealthInterval time.Duration
+
+	// PlanTuples is the coordinator's plan-cache budget in tuples
+	// (default: the engine default; negative disables the tier).
+	PlanTuples int
+	// Seed feeds the jitter stream, so a test's retry timing is
+	// reproducible (default 1).
+	Seed int64
+	// Transport overrides the workers' HTTP transport — the seam the
+	// fault-injection tests use (nil = default transport).
+	Transport http.RoundTripper
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.NumSlots <= 0 {
+		cfg.NumSlots = 64
+	}
+	if cfg.Cube == (cube.Config{}) {
+		cfg.Cube = maprat.DefaultOptions().Cube
+	}
+	if cfg.ShardTimeout <= 0 {
+		cfg.ShardTimeout = 5 * time.Second
+	}
+	if cfg.Attempts <= 0 {
+		cfg.Attempts = 2
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 50 * time.Millisecond
+	}
+	if cfg.HedgeAfter == 0 {
+		cfg.HedgeAfter = 30 * time.Millisecond
+	}
+	if cfg.BreakerFailures <= 0 {
+		cfg.BreakerFailures = 3
+	}
+	if cfg.BreakerOpen <= 0 {
+		cfg.BreakerOpen = 2 * time.Second
+	}
+	if cfg.HealthInterval <= 0 {
+		cfg.HealthInterval = time.Second
+	}
+	if cfg.PlanTuples == 0 {
+		cfg.PlanTuples = store.DefaultOptions().PlanCacheTuples
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	return cfg
+}
+
+// Coordinator fans queries out over the worker fleet and mines merged
+// results. It implements maprat.Miner (and the api transport's optional
+// degraded-refine extension), so it mounts in a Registry exactly like a
+// local engine.
+type Coordinator struct {
+	cfg      Config
+	names    []string // display names, index-aligned with clients
+	clients  []*client.Client
+	breakers []*breaker
+	ring     [][]int // slot -> worker indices, failover order
+
+	fp     uint64
+	dstats maprat.DatasetStats
+	lo, hi int64
+
+	plans *store.PlanCache
+	mines atomic.Uint64
+
+	// Scatter-gather counters (see Stats).
+	gathers, degraded, failovers atomic.Uint64
+	hedges, hedgeWins, retries   atomic.Uint64
+
+	// jitter is the seeded backoff-jitter stream.
+	jmu   sync.Mutex
+	jrand *rand.Rand
+
+	// lat is a ring of recent successful batch latencies feeding the
+	// hedging percentile.
+	latMu  sync.Mutex
+	lat    []time.Duration
+	latPos int
+	latLen int
+
+	cancel    context.CancelFunc
+	closeOnce sync.Once
+}
+
+// New dials the workers, performs the boot handshake (at least one
+// worker must answer /shard/info, and every worker that answers must
+// report the same dataset fingerprint), and starts the health loop.
+// Workers that are down at boot are admitted into the ring with an open
+// breaker; the health loop folds them in when they recover.
+func New(ctx context.Context, cfg Config) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Workers) == 0 {
+		return nil, errors.New("shard: no workers configured")
+	}
+	c := &Coordinator{
+		cfg:   cfg,
+		jrand: rng.New(cfg.Seed),
+		lat:   make([]time.Duration, 64),
+	}
+	if cfg.PlanTuples > 0 {
+		c.plans = store.NewPlanCache(cfg.PlanTuples)
+	}
+	hc := &http.Client{}
+	if cfg.Transport != nil {
+		hc = &http.Client{Transport: cfg.Transport}
+	}
+	for _, w := range cfg.Workers {
+		// One attempt, no SDK backoff: the shard layer owns retries and
+		// hedging, and double-retrying underneath it would blur the
+		// breaker accounting.
+		cl, err := client.New(w, client.WithHTTPClient(hc), client.WithRetry(1, 0))
+		if err != nil {
+			return nil, fmt.Errorf("shard: worker %q: %w", w, err)
+		}
+		c.clients = append(c.clients, cl)
+		c.names = append(c.names, workerName(w))
+		c.breakers = append(c.breakers, newBreaker(cfg.BreakerFailures, cfg.BreakerOpen))
+	}
+	c.ring = buildRing(c.names, cfg.NumSlots)
+
+	if err := c.handshake(ctx); err != nil {
+		return nil, err
+	}
+
+	// The health loop is tied to the coordinator's lifetime, not the boot
+	// call's: a short boot deadline must not kill background probing.
+	ictx, cancel := context.WithCancel(context.Background()) //maprat:allow(ctxflow) coordinator lifecycle root; Close cancels it
+	c.cancel = cancel
+	go c.healthLoop(ictx)
+	return c, nil
+}
+
+// workerName derives the display/ring name of a worker: the URL host,
+// which is also what fault-injection rules key on.
+func workerName(raw string) string {
+	if u, err := url.Parse(raw); err == nil && u.Host != "" {
+		return u.Host
+	}
+	return raw
+}
+
+// handshake probes every worker once and records the fleet identity.
+func (c *Coordinator) handshake(ctx context.Context) error {
+	type boot struct {
+		idx  int
+		info *client.ShardInfoResponse
+	}
+	var reachable []boot
+	var firstErr error
+	for i := range c.clients {
+		info, err := c.shardInfo(ctx, i)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("worker %s: %w", c.names[i], err)
+			}
+			// Start the outage bookkeeping now so routing avoids the
+			// worker until the health loop sees it recover.
+			for f := 0; f < c.cfg.BreakerFailures; f++ {
+				c.breakers[i].Failure()
+			}
+			continue
+		}
+		reachable = append(reachable, boot{i, info})
+	}
+	if len(reachable) == 0 {
+		return fmt.Errorf("shard: boot handshake: %w (%v)", maprat.ErrUnavailable, firstErr)
+	}
+	first := reachable[0]
+	fp, err := parseFingerprint(first.info.Fingerprint)
+	if err != nil {
+		return fmt.Errorf("shard: worker %s: %w", c.names[first.idx], err)
+	}
+	for _, b := range reachable[1:] {
+		if b.info.Fingerprint != first.info.Fingerprint {
+			return fmt.Errorf("shard: fingerprint split-brain: worker %s serves %s, worker %s serves %s",
+				c.names[first.idx], first.info.Fingerprint, c.names[b.idx], b.info.Fingerprint)
+		}
+	}
+	c.fp = fp
+	// MeanScore and the histogram are not part of the handshake; the
+	// stats row carries the identity fields only.
+	c.dstats = maprat.DatasetStats{
+		Users:   first.info.Users,
+		Items:   first.info.Items,
+		Ratings: first.info.Ratings,
+		MinUnix: first.info.MinUnix,
+		MaxUnix: first.info.MaxUnix,
+	}
+	c.lo, c.hi = first.info.MinUnix, first.info.MaxUnix
+	return nil
+}
+
+// shardInfo is one deadline-bounded identity probe.
+func (c *Coordinator) shardInfo(ctx context.Context, w int) (*client.ShardInfoResponse, error) {
+	cctx, cancel := context.WithTimeout(ctx, c.cfg.ShardTimeout)
+	defer cancel()
+	return c.clients[w].ShardInfo(cctx)
+}
+
+func parseFingerprint(s string) (uint64, error) {
+	var fp uint64
+	if _, err := fmt.Sscanf(s, "%x", &fp); err != nil {
+		return 0, fmt.Errorf("bad fingerprint %q: %w", s, err)
+	}
+	return fp, nil
+}
+
+// jitter draws from [0, max) on the seeded stream.
+func (c *Coordinator) jitter(max time.Duration) time.Duration {
+	if max <= 0 {
+		return 0
+	}
+	c.jmu.Lock()
+	defer c.jmu.Unlock()
+	return time.Duration(c.jrand.Int63n(int64(max)))
+}
+
+// observeLatency feeds the hedging percentile window.
+func (c *Coordinator) observeLatency(d time.Duration) {
+	c.latMu.Lock()
+	defer c.latMu.Unlock()
+	c.lat[c.latPos] = d
+	c.latPos = (c.latPos + 1) % len(c.lat)
+	if c.latLen < len(c.lat) {
+		c.latLen++
+	}
+}
+
+// hedgeDelay is max(HedgeAfter, p95 of the recent batch latencies) — a
+// fixed floor alone either hedges everything (too low) or nothing (too
+// high) as the fleet's baseline drifts.
+func (c *Coordinator) hedgeDelay() time.Duration {
+	c.latMu.Lock()
+	n := c.latLen
+	window := append([]time.Duration(nil), c.lat[:n]...)
+	c.latMu.Unlock()
+	d := c.cfg.HedgeAfter
+	if n == 0 {
+		return d
+	}
+	sort.Slice(window, func(a, b int) bool { return window[a] < window[b] })
+	if p95 := window[(n*95)/100]; p95 > d {
+		d = p95
+	}
+	return d
+}
+
+// degradedPlan is the sentinel error a degraded gather rides through
+// the plan cache: GetOrBuild never caches build errors, so wrapping the
+// partial plan in one keeps it out of the cache — a later request must
+// retry the missing shards rather than be served the partial result
+// from cache after the fleet has recovered.
+type degradedPlan struct {
+	plan    *store.Plan
+	missing []string
+}
+
+func (d *degradedPlan) Error() string {
+	return fmt.Sprintf("shard: degraded plan (missing %v)", d.missing)
+}
+
+// buildPlan runs the distributed pre-mining pipeline: scatter-gather
+// R_I, then rebuild the candidate cube locally exactly as a single-node
+// engine would over the same tuples.
+func (c *Coordinator) buildPlan(ctx context.Context, q maprat.Query, base cube.Config) (*store.Plan, []string, error) {
+	out, err := c.gather(ctx, q)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(out.items) == 0 {
+		if len(out.missing) > 0 {
+			// The surviving shards saw nothing, but the missing ones own
+			// unknown items: "no items" cannot be distinguished from "the
+			// items were on the dead shards".
+			return nil, nil, fmt.Errorf("shard: %d worker(s) unreachable and no items from the rest: %w", len(out.missing), maprat.ErrUnavailable)
+		}
+		return nil, nil, maprat.ErrNoItems
+	}
+	if len(out.tuples) == 0 {
+		if len(out.missing) > 0 {
+			return nil, nil, fmt.Errorf("shard: no ratings from surviving workers (missing %v): %w", out.missing, maprat.ErrUnavailable)
+		}
+		return nil, nil, maprat.ErrNoRatings
+	}
+	p := &store.Plan{
+		ItemIDs: out.items,
+		Tuples:  out.tuples,
+		Cube:    cube.Build(out.tuples, maprat.AdaptCubeConfig(base, len(out.tuples))),
+	}
+	for i := range out.tuples {
+		p.Overall.Add(out.tuples[i].Score)
+	}
+	return p, out.missing, nil
+}
+
+// planFor fetches the plan for (q, base) from the coordinator's plan
+// cache, gathering and building on a miss. Complete plans are cached
+// under the same key a local engine would use; degraded plans are
+// returned but never cached (see degradedPlan).
+func (c *Coordinator) planFor(ctx context.Context, q maprat.Query, base cube.Config, bypass bool) (*store.Plan, []string, error) {
+	if c.plans == nil || bypass {
+		return c.buildPlan(ctx, q, base)
+	}
+	p, _, err := c.plans.GetOrBuild(ctx, maprat.PlanKey(q, base), func() (*store.Plan, error) {
+		bp, missing, err := c.buildPlan(ctx, q, base)
+		if err != nil {
+			return nil, err
+		}
+		if len(missing) > 0 {
+			return nil, &degradedPlan{plan: bp, missing: missing}
+		}
+		return bp, nil
+	})
+	if err != nil {
+		var dp *degradedPlan
+		if errors.As(err, &dp) {
+			return dp.plan, dp.missing, nil
+		}
+		return nil, nil, err
+	}
+	return p, nil, nil //maprat:allow(clonecheck) store.Plan is immutable by contract; consumers only read, so the shared pointer is safe
+}
+
+// ExplainContext implements maprat.Miner over the gathered plan. The
+// mining stage is maprat.MinePlan — the same function the local engine
+// runs — which is what makes a complete distributed result
+// byte-identical to the single-node one.
+func (c *Coordinator) ExplainContext(ctx context.Context, req maprat.ExplainRequest) (*maprat.Explanation, error) {
+	start := time.Now()
+	p, missing, err := c.planFor(ctx, req.Query, c.baseCube(req.CubeConfig), req.DisableCache)
+	if err != nil {
+		return nil, err
+	}
+	ex, err := maprat.MinePlan(ctx, p, req)
+	if err != nil {
+		return nil, err
+	}
+	ex.Degraded = missing
+	ex.Elapsed = time.Since(start)
+	c.mines.Add(1)
+	return ex, nil
+}
+
+func (c *Coordinator) baseCube(override *cube.Config) cube.Config {
+	if override != nil {
+		return *override
+	}
+	return c.cfg.Cube
+}
+
+// ExploreFullContext implements maprat.Miner.
+func (c *Coordinator) ExploreFullContext(ctx context.Context, q maprat.Query, key maprat.Key, buckets, refineLimit int) (*maprat.GroupExploration, error) {
+	p, missing, err := c.planFor(ctx, q, maprat.GroupCubeConfig(c.cfg.Cube, key), false)
+	if err != nil {
+		return nil, err
+	}
+	ge, err := maprat.ExplorePlan(ctx, p, q, key, buckets, refineLimit)
+	if err != nil {
+		return nil, err
+	}
+	ge.Degraded = missing
+	return ge, nil
+}
+
+// RefineGroupContext implements maprat.Miner.
+func (c *Coordinator) RefineGroupContext(ctx context.Context, q maprat.Query, key maprat.Key, limit int) ([]maprat.Refinement, error) {
+	refs, _, err := c.RefineGroupDegraded(ctx, q, key, limit)
+	return refs, err
+}
+
+// RefineGroupDegraded is the degraded-aware refine the api transport
+// dispatches to (its return shape has room for the missing-shard list,
+// which RefineGroupContext's does not).
+func (c *Coordinator) RefineGroupDegraded(ctx context.Context, q maprat.Query, key maprat.Key, limit int) ([]maprat.Refinement, []string, error) {
+	p, missing, err := c.planFor(ctx, q, maprat.GroupCubeConfig(c.cfg.Cube, key), false)
+	if err != nil {
+		return nil, nil, err
+	}
+	refs, err := maprat.RefinePlan(p, q, key, limit)
+	if err != nil {
+		return nil, nil, err
+	}
+	return refs, missing, nil
+}
+
+// DrillMineContext implements maprat.Miner.
+func (c *Coordinator) DrillMineContext(ctx context.Context, q maprat.Query, parent maprat.Key, task maprat.Task, s maprat.Settings) (*maprat.TaskResult, error) {
+	p, missing, err := c.planFor(ctx, q, maprat.GroupCubeConfig(c.cfg.Cube, parent), false)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := maprat.DrillPlan(ctx, p, q, parent, task, s)
+	if err != nil {
+		return nil, err
+	}
+	tr.Degraded = missing
+	c.mines.Add(1)
+	return tr, nil
+}
+
+// EvolutionContext implements maprat.Miner: the same yearly sweep the
+// engine runs, each window answered by a (cached or gathered) plan.
+func (c *Coordinator) EvolutionContext(ctx context.Context, req maprat.ExplainRequest) ([]maprat.EvolutionPoint, error) {
+	lo, hi := c.lo, c.hi
+	w := req.Query.Window
+	if w.BoundedFrom() {
+		lo = w.From
+	}
+	if w.BoundedTo() {
+		hi = w.To
+	}
+	windows := explore.YearWindows(lo, hi)
+	if len(windows) == 0 {
+		return nil, fmt.Errorf("shard: empty time range")
+	}
+	out := make([]maprat.EvolutionPoint, 0, len(windows))
+	for _, win := range windows {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
+		r := req
+		r.Query.Window = win
+		ex, err := c.ExplainContext(ctx, r)
+		out = append(out, maprat.EvolutionPoint{Window: win, Explanation: ex, Err: err})
+	}
+	return out, nil
+}
+
+// BrowseStates implements maprat.Miner by proxying the whole-log
+// choropleth from the first routable worker (any worker serves it: the
+// browse overview is whole-log, not query-sharded). The additive
+// aggregates are reconstructed from the wire's (mean, std, count) rows.
+// Returns nil when no worker is reachable — the same "browse
+// unavailable" signal a precompute-disabled engine gives.
+func (c *Coordinator) BrowseStates() []maprat.StateOverview {
+	for w := range c.clients {
+		if !c.breakers[w].Routable() {
+			continue
+		}
+		cctx, cancel := context.WithTimeout(context.Background(), c.cfg.ShardTimeout) //maprat:allow(ctxflow) Miner.BrowseStates has no ctx parameter (interface parity with Engine); the call is deadline-bounded
+		resp, err := c.clients[w].Browse(cctx)
+		cancel()
+		if err != nil {
+			continue
+		}
+		out := make([]maprat.StateOverview, 0, len(resp.States))
+		for _, s := range resp.States {
+			out = append(out, maprat.StateOverview{State: s.State, Agg: aggFromMoments(s.Count, s.Mean, s.Std)})
+		}
+		return out
+	}
+	return nil
+}
+
+// aggFromMoments inverts Agg.Mean/Std: Sum = mean·n, SumSq = (σ²+μ²)·n.
+// Scores are integers so both round exactly for any genuine aggregate.
+func aggFromMoments(count int, mean, std float64) cube.Agg {
+	n := float64(count)
+	return cube.Agg{
+		Count: count,
+		Sum:   int64(math.Round(mean * n)),
+		SumSq: int64(math.Round((std*std + mean*mean) * n)),
+	}
+}
+
+// TimeRange implements maprat.Miner from the handshake identity.
+func (c *Coordinator) TimeRange() (int64, int64) { return c.lo, c.hi }
+
+// Fingerprint implements maprat.Miner: the fleet-agreed dataset
+// fingerprint, so coordinator ETags match single-node ones.
+func (c *Coordinator) Fingerprint() uint64 { return c.fp }
+
+// DatasetStats implements maprat.Miner (identity fields only —
+// MeanScore and the histogram do not travel in the handshake).
+func (c *Coordinator) DatasetStats() maprat.DatasetStats { return c.dstats }
+
+// PlanStats implements maprat.Miner.
+func (c *Coordinator) PlanStats() store.PlanStats {
+	if c.plans != nil {
+		return c.plans.Stats()
+	}
+	return store.PlanStats{}
+}
+
+// MineCount implements maprat.Miner.
+func (c *Coordinator) MineCount() uint64 { return c.mines.Load() }
+
+// Close implements maprat.Miner: stops the health loop. Idempotent.
+func (c *Coordinator) Close() error {
+	c.closeOnce.Do(c.cancel)
+	return nil
+}
+
+// ShardStats snapshots the scatter-gather counters for /statsz.
+func (c *Coordinator) ShardStats() Stats {
+	st := Stats{
+		Slots:     c.cfg.NumSlots,
+		Gathers:   c.gathers.Load(),
+		Degraded:  c.degraded.Load(),
+		Failovers: c.failovers.Load(),
+		Hedges:    c.hedges.Load(),
+		HedgeWins: c.hedgeWins.Load(),
+		Retries:   c.retries.Load(),
+	}
+	for i, b := range c.breakers {
+		row := b.snapshot()
+		row.Name = c.names[i]
+		st.Workers = append(st.Workers, row)
+	}
+	return st
+}
+
+// Compile-time checks: the full Miner surface plus the transport's
+// optional degraded-refine extension.
+var (
+	_ maprat.Miner        = (*Coordinator)(nil)
+	_ api.DegradedRefiner = (*Coordinator)(nil)
+)

@@ -1,0 +1,453 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"net/url"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/api"
+	"repro/internal/fault"
+)
+
+// The suite shares one small dataset and one single-node reference
+// engine; worker fleets are cheap httptest servers over that engine
+// (workers hold full dataset copies, so sharing the engine matches the
+// deployment model and keeps the suite fast).
+var (
+	engOnce sync.Once
+	engMemo *maprat.Engine
+	hdlMemo *api.Handler
+)
+
+func testEngine(t *testing.T) *maprat.Engine {
+	t.Helper()
+	engOnce.Do(func() {
+		ds, err := maprat.Generate(maprat.SmallGenConfig())
+		if err != nil {
+			panic(err)
+		}
+		engMemo, err = maprat.Open(ds, nil)
+		if err != nil {
+			panic(err)
+		}
+		hdlMemo = api.New(engMemo, api.Config{})
+	})
+	return engMemo
+}
+
+// startWorkers brings up n workers serving the shared dataset and
+// returns their base URLs and host names.
+func startWorkers(t *testing.T, n int) (urls, hosts []string) {
+	t.Helper()
+	testEngine(t)
+	for i := 0; i < n; i++ {
+		ts := httptest.NewServer(hdlMemo)
+		t.Cleanup(ts.Close)
+		u, err := url.Parse(ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		urls = append(urls, ts.URL)
+		hosts = append(hosts, u.Host)
+	}
+	return urls, hosts
+}
+
+func testCoordinator(t *testing.T, cfg Config) *Coordinator {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	c, err := New(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func mustParse(t *testing.T, s string) maprat.Query {
+	t.Helper()
+	q, err := testEngine(t).ParseQuery(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+// normalize strips the result-neutral fields (timing, cache provenance)
+// before a byte-identity comparison.
+func normalize(ex *maprat.Explanation) *maprat.Explanation {
+	out := ex.Clone()
+	out.Elapsed = 0
+	out.FromCache = false
+	return out
+}
+
+// TestCoordinatorMatchesSingleNode is the determinism contract: all
+// five pipelines, mined through a coordinator over 2 and 4 shards, must
+// be identical to the single-node engine's results — same groups, same
+// objective values, same byte representation after stripping timing.
+func TestCoordinatorMatchesSingleNode(t *testing.T) {
+	eng := testEngine(t)
+	lo, hi := eng.TimeRange()
+	queries := []maprat.Query{
+		mustParse(t, "genre:Drama"),
+		mustParse(t, `movie:"Toy Story"`),
+	}
+	// A windowed variant exercises the explicit window fields on the
+	// gather wire.
+	windowed := mustParse(t, "genre:Drama")
+	windowed.Window = maprat.TimeWindow{From: lo + (hi-lo)/4, To: hi, HasFrom: true, HasTo: true}
+	queries = append(queries, windowed)
+
+	ctx := context.Background()
+	for _, shards := range []int{2, 4} {
+		urls, _ := startWorkers(t, shards)
+		coord := testCoordinator(t, Config{Workers: urls, HedgeAfter: -1})
+		for _, q := range queries {
+			req := maprat.ExplainRequest{Query: q}
+
+			want, err := eng.ExplainContext(ctx, req)
+			if err != nil {
+				t.Fatalf("%d shards, %s: single-node explain: %v", shards, q, err)
+			}
+			got, err := coord.ExplainContext(ctx, req)
+			if err != nil {
+				t.Fatalf("%d shards, %s: coordinator explain: %v", shards, q, err)
+			}
+			if len(got.Degraded) != 0 {
+				t.Fatalf("%d shards, %s: healthy fleet answered degraded: %v", shards, q, got.Degraded)
+			}
+			if !reflect.DeepEqual(normalize(want), normalize(got)) {
+				t.Errorf("%d shards, %s: explain diverged:\nsingle-node %+v\ncoordinator %+v", shards, q, normalize(want), normalize(got))
+			}
+			if coord.Fingerprint() != eng.Fingerprint() {
+				t.Fatalf("fingerprint mismatch: %x vs %x", coord.Fingerprint(), eng.Fingerprint())
+			}
+
+			// The remaining pipelines hang off an explain group.
+			if len(want.Results) == 0 || len(want.Results[0].Groups) == 0 {
+				continue
+			}
+			key := want.Results[0].Groups[0].Key
+
+			wantGE, err1 := eng.ExploreFullContext(ctx, q, key, 10, 5)
+			gotGE, err2 := coord.ExploreFullContext(ctx, q, key, 10, 5)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("%d shards, %s: explore: %v vs %v", shards, q, err1, err2)
+			}
+			if !reflect.DeepEqual(wantGE, gotGE) {
+				t.Errorf("%d shards, %s: explore diverged", shards, q)
+			}
+
+			wantRefs, err1 := eng.RefineGroupContext(ctx, q, key, 3)
+			gotRefs, err2 := coord.RefineGroupContext(ctx, q, key, 3)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("%d shards, %s: refine: %v vs %v", shards, q, err1, err2)
+			}
+			if !reflect.DeepEqual(wantRefs, gotRefs) {
+				t.Errorf("%d shards, %s: refine diverged", shards, q)
+			}
+
+			wantTR, err1 := eng.DrillMineContext(ctx, q, key, maprat.SimilarityMining, maprat.Settings{})
+			gotTR, err2 := coord.DrillMineContext(ctx, q, key, maprat.SimilarityMining, maprat.Settings{})
+			if err1 != nil || err2 != nil {
+				t.Fatalf("%d shards, %s: drill: %v vs %v", shards, q, err1, err2)
+			}
+			if !reflect.DeepEqual(wantTR, gotTR) {
+				t.Errorf("%d shards, %s: drill diverged", shards, q)
+			}
+		}
+
+		// Evolution once per fleet size (it is the expensive sweep).
+		req := maprat.ExplainRequest{Query: queries[0]}
+		wantEvo, err1 := eng.EvolutionContext(ctx, req)
+		gotEvo, err2 := coord.EvolutionContext(ctx, req)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%d shards: evolution: %v vs %v", shards, err1, err2)
+		}
+		if len(wantEvo) != len(gotEvo) {
+			t.Fatalf("%d shards: evolution has %d points, want %d", shards, len(gotEvo), len(wantEvo))
+		}
+		for i := range wantEvo {
+			w, g := wantEvo[i], gotEvo[i]
+			if w.Window != g.Window || (w.Err == nil) != (g.Err == nil) {
+				t.Errorf("%d shards: evolution point %d differs: %+v vs %+v", shards, i, w, g)
+				continue
+			}
+			if w.Err == nil && !reflect.DeepEqual(normalize(w.Explanation), normalize(g.Explanation)) {
+				t.Errorf("%d shards: evolution point %d explanation diverged", shards, i)
+			}
+		}
+
+		// BrowseStates proxies the worker's whole-log choropleth; the
+		// additive aggregates must reconstruct exactly.
+		if want, got := eng.BrowseStates(), coord.BrowseStates(); !reflect.DeepEqual(want, got) {
+			t.Errorf("%d shards: browse states diverged:\n%v\n%v", shards, want, got)
+		}
+	}
+}
+
+// chaosConfig is the fast-failing coordinator profile the fault tests
+// use: one try per batch, immediate breaker trips, and a short
+// per-worker deadline so a wedged worker cannot stall the suite.
+func chaosConfig(urls []string, tr *fault.Transport) Config {
+	return Config{
+		Workers:         urls,
+		Transport:       tr,
+		ShardTimeout:    500 * time.Millisecond,
+		Attempts:        1,
+		Backoff:         5 * time.Millisecond,
+		HedgeAfter:      -1,
+		BreakerFailures: 1,
+		BreakerOpen:     50 * time.Millisecond,
+		HealthInterval:  20 * time.Millisecond,
+		Seed:            1,
+	}
+}
+
+// TestFailoverRecoversFromOneDeadWorker: a worker that drops every
+// gather is routed around — the second round reassigns its slots and
+// the result is complete and identical to single-node.
+func TestFailoverRecoversFromOneDeadWorker(t *testing.T) {
+	eng := testEngine(t)
+	urls, hosts := startWorkers(t, 3)
+	tr := fault.New(1, nil, fault.Rule{Host: hosts[0], Path: "/shard/gather", P: 1, Action: fault.Drop})
+	coord := testCoordinator(t, chaosConfig(urls, tr))
+
+	ctx := context.Background()
+	req := maprat.ExplainRequest{Query: mustParse(t, "genre:Drama")}
+	got, err := coord.ExplainContext(ctx, req)
+	if err != nil {
+		t.Fatalf("explain with one dead worker: %v", err)
+	}
+	if len(got.Degraded) != 0 {
+		t.Fatalf("failover available but result degraded: %v", got.Degraded)
+	}
+	want, err := eng.ExplainContext(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(normalize(want), normalize(got)) {
+		t.Error("failover result diverged from single-node")
+	}
+	st := coord.ShardStats()
+	if st.Failovers == 0 {
+		t.Errorf("no failovers counted: %+v", st)
+	}
+	if tr.Injected(fault.Drop) == 0 {
+		t.Fatal("fault schedule never fired")
+	}
+}
+
+// TestDegradedResultWhenFailoverExhausted: when the dead worker's slots
+// cannot be recovered (the survivors fail the failover round too), the
+// coordinator answers a partial result naming the missing shard instead
+// of failing — and the partial plan is never cached, so a later request
+// with a recovered fleet is complete again.
+func TestDegradedResultWhenFailoverExhausted(t *testing.T) {
+	eng := testEngine(t)
+	urls, hosts := startWorkers(t, 3)
+	// Worker 0 drops its first gather; workers 1 and 2 answer their
+	// first gather and drop their second — so round 1 succeeds for them
+	// and the failover round (their second request) fails. The windows
+	// then close and the fleet is healthy for the recovery check below.
+	tr := fault.New(1, nil,
+		fault.Rule{Host: hosts[0], Path: "/shard/gather", To: 1, P: 1, Action: fault.Drop},
+		fault.Rule{Host: hosts[1], Path: "/shard/gather", From: 1, To: 2, P: 1, Action: fault.Drop},
+		fault.Rule{Host: hosts[2], Path: "/shard/gather", From: 1, To: 2, P: 1, Action: fault.Drop},
+	)
+	coord := testCoordinator(t, chaosConfig(urls, tr))
+
+	ctx := context.Background()
+	req := maprat.ExplainRequest{Query: mustParse(t, "genre:Drama")}
+	got, err := coord.ExplainContext(ctx, req)
+	if err != nil {
+		t.Fatalf("degraded explain failed outright: %v", err)
+	}
+	if len(got.Degraded) != 1 || got.Degraded[0] != hosts[0] {
+		t.Fatalf("Degraded = %v, want [%s]", got.Degraded, hosts[0])
+	}
+	if len(got.Results) == 0 {
+		t.Fatal("degraded explanation mined no results")
+	}
+	full, err := eng.ExplainContext(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRatings >= full.NumRatings {
+		t.Errorf("degraded result has %d ratings, full has %d — nothing was actually missing", got.NumRatings, full.NumRatings)
+	}
+	st := coord.ShardStats()
+	if st.Degraded == 0 {
+		t.Errorf("degraded gather not counted: %+v", st)
+	}
+
+	// Breaker lifecycle: worker 0 tripped open; the health loop's
+	// /shard/info probes (unmatched by the fault rules) must walk it
+	// open → half-open → closed.
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		rows := coord.ShardStats().Workers
+		allClosed := true
+		for _, w := range rows {
+			if w.State != "closed" {
+				allClosed = false
+			}
+		}
+		if allClosed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("breakers never recovered: %+v", rows)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	var w0 WorkerStats
+	for _, w := range coord.ShardStats().Workers {
+		if w.Name == hosts[0] {
+			w0 = w
+		}
+	}
+	if w0.Opened == 0 || w0.HalfOpened == 0 {
+		t.Errorf("worker 0 breaker skipped the open/half-open cycle: %+v", w0)
+	}
+
+	// The fleet is healthy again (fault windows closed) and the partial
+	// plan must not have been cached: the same query now completes.
+	got2, err := coord.ExplainContext(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got2.Degraded) != 0 {
+		t.Fatalf("recovered fleet still degraded: %v", got2.Degraded)
+	}
+	if !reflect.DeepEqual(normalize(full), normalize(got2)) {
+		t.Error("post-recovery result diverged from single-node")
+	}
+}
+
+// TestHedgedRequestRescuesWedgedWorker: a worker that accepts
+// connections and hangs is the case per-batch hedging exists for — the
+// backup answers the batch and the wedged primary's cancellation is not
+// charged to its breaker.
+func TestHedgedRequestRescuesWedgedWorker(t *testing.T) {
+	eng := testEngine(t)
+	urls, hosts := startWorkers(t, 2)
+	tr := fault.New(1, nil, fault.Rule{Host: hosts[0], Path: "/shard/gather", P: 1, Action: fault.Hang})
+	cfg := chaosConfig(urls, tr)
+	cfg.HedgeAfter = time.Millisecond
+	cfg.ShardTimeout = 5 * time.Second // only hedging can save this batch quickly
+	coord := testCoordinator(t, cfg)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	req := maprat.ExplainRequest{Query: mustParse(t, "genre:Drama")}
+	start := time.Now()
+	got, err := coord.ExplainContext(ctx, req)
+	if err != nil {
+		t.Fatalf("hedged explain: %v", err)
+	}
+	if len(got.Degraded) != 0 {
+		t.Fatalf("hedge available but result degraded: %v", got.Degraded)
+	}
+	if elapsed := time.Since(start); elapsed > 4*time.Second {
+		t.Errorf("hedge did not cut the wedged wait: took %v", elapsed)
+	}
+	want, err := eng.ExplainContext(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(normalize(want), normalize(got)) {
+		t.Error("hedged result diverged from single-node")
+	}
+	st := coord.ShardStats()
+	if st.Hedges == 0 || st.HedgeWins == 0 {
+		t.Errorf("hedge counters not recorded: %+v", st)
+	}
+	for _, w := range st.Workers {
+		if w.Name == hosts[0] && w.Failures != 0 {
+			t.Errorf("lost hedge race charged to the wedged worker's breaker: %+v", w)
+		}
+	}
+}
+
+// TestUnavailableWhenAllWorkersFail: total fleet loss is an error (the
+// 503-mapped sentinel), not a silent empty answer.
+func TestUnavailableWhenAllWorkersFail(t *testing.T) {
+	urls, _ := startWorkers(t, 2)
+	tr := fault.New(1, nil, fault.Rule{Path: "/shard/gather", P: 1, Action: fault.Drop})
+	coord := testCoordinator(t, chaosConfig(urls, tr))
+	_, err := coord.ExplainContext(context.Background(), maprat.ExplainRequest{Query: mustParse(t, "genre:Drama")})
+	if !errors.Is(err, maprat.ErrUnavailable) {
+		t.Fatalf("total fleet loss returned %v, want ErrUnavailable", err)
+	}
+}
+
+// TestDeadlinePropagates: with every worker wedged and hedging off, the
+// caller's deadline still bounds the request — the coordinator never
+// hangs past it.
+func TestDeadlinePropagates(t *testing.T) {
+	urls, _ := startWorkers(t, 2)
+	tr := fault.New(1, nil, fault.Rule{Path: "/shard/gather", P: 1, Action: fault.Hang})
+	cfg := chaosConfig(urls, tr)
+	cfg.ShardTimeout = time.Minute
+	coord := testCoordinator(t, cfg)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := coord.ExplainContext(ctx, maprat.ExplainRequest{Query: mustParse(t, "genre:Drama")})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("wedged fleet returned %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("request outlived its deadline by far: %v", elapsed)
+	}
+}
+
+// TestBootHandshakeRejectsSplitBrain: workers serving different
+// datasets must be refused at boot — merging their slices would splice
+// two datasets into one cube.
+func TestBootHandshakeRejectsSplitBrain(t *testing.T) {
+	urls, _ := startWorkers(t, 1)
+	cfg := maprat.SmallGenConfig()
+	cfg.Seed = 99
+	other, err := maprat.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng2, err := maprat.Open(other, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng2.Close() })
+	ts := httptest.NewServer(api.New(eng2, api.Config{}))
+	t.Cleanup(ts.Close)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := New(ctx, Config{Workers: append(urls, ts.URL)}); err == nil {
+		t.Fatal("split-brain fleet accepted at boot")
+	}
+}
+
+// TestBootRequiresAWorker: a fleet with every worker down fails boot
+// with the unavailable sentinel.
+func TestBootRequiresAWorker(t *testing.T) {
+	ts := httptest.NewServer(nil)
+	url := ts.URL
+	ts.Close() // nothing listens here anymore
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_, err := New(ctx, Config{Workers: []string{url}, ShardTimeout: 300 * time.Millisecond})
+	if !errors.Is(err, maprat.ErrUnavailable) {
+		t.Fatalf("dead fleet boot returned %v, want ErrUnavailable", err)
+	}
+}

@@ -1,0 +1,374 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro"
+	"repro/internal/api"
+	"repro/internal/cube"
+	"repro/internal/query"
+)
+
+// gatherOut is a completed scatter-gather: the resolved item IDs
+// (ascending) and their tuple runs in exact single-node order, plus the
+// names of workers whose slots could not be gathered.
+type gatherOut struct {
+	items   []int
+	tuples  []cube.Tuple
+	missing []string
+}
+
+// slotBatch is one worker's share of a gather round.
+type slotBatch struct {
+	worker int
+	slots  []int
+}
+
+// gatherDone is one successfully fetched batch, decoded.
+type gatherDone struct {
+	items  []int
+	counts []int
+	tuples []cube.Tuple
+}
+
+// gather fans a query out across the fleet and reassembles the R_I
+// slice. Round 1 routes every slot to its first breaker-admitted
+// rendezvous owner, with per-batch retries and a hedged backup after
+// the latency threshold. Round 2 reassigns the slots of failed batches
+// to the next owner in each slot's rendezvous order, excluding the
+// workers that just failed. Slots still unserved after round 2 are the
+// degradation: their round-1 owner's name lands in missing and the
+// merge proceeds without them.
+func (c *Coordinator) gather(ctx context.Context, q maprat.Query) (*gatherOut, error) {
+	c.gathers.Add(1)
+	reqT := api.ShardGatherRequest{
+		// The window travels in explicit fields; Q is predicates only
+		// (the parser does not accept window syntax).
+		Q:        query.Query{Op: q.Op, Preds: q.Preds}.String(),
+		NumSlots: c.cfg.NumSlots,
+		From:     q.Window.From,
+		To:       q.Window.To,
+		HasFrom:  q.Window.HasFrom,
+		HasTo:    q.Window.HasTo,
+		Dataset:  c.cfg.Dataset,
+	}
+
+	// Round 1 routing. Allow() is consulted at most once per worker per
+	// gather (memoized), and only when the worker is the best candidate
+	// for some slot — so an admitted half-open probe always has a batch
+	// to ride on.
+	n := c.cfg.NumSlots
+	allowCache := make(map[int]bool)
+	allow := func(w int) bool {
+		v, ok := allowCache[w]
+		if !ok {
+			v = c.breakers[w].Allow()
+			allowCache[w] = v
+		}
+		return v
+	}
+	batches := make(map[int][]int)
+	slotOwner := make([]int, n) // round-1 owner, for missing attribution
+	var unserved []int          // slots with no admissible worker at all
+	for s := 0; s < n; s++ {
+		slotOwner[s] = c.ring[s][0]
+		w := -1
+		for _, cand := range c.ring[s] {
+			if allow(cand) {
+				w = cand
+				break
+			}
+		}
+		if w < 0 {
+			unserved = append(unserved, s)
+			continue
+		}
+		slotOwner[s] = w
+		batches[w] = append(batches[w], s)
+	}
+
+	var (
+		mu     sync.Mutex
+		oks    []gatherDone
+		failed []slotBatch
+	)
+	runRound := func(round map[int][]int, hedge bool) {
+		var wg sync.WaitGroup
+		for w, slots := range round {
+			wg.Add(1)
+			go func(ctx context.Context, w int, slots []int) {
+				defer wg.Done()
+				resp, err := c.runBatch(ctx, w, slots, reqT, hedge)
+				var d gatherDone
+				if err == nil {
+					d, err = decodeBatch(resp)
+				}
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil {
+					failed = append(failed, slotBatch{w, slots})
+					return
+				}
+				oks = append(oks, d)
+			}(ctx, w, slots)
+		}
+		wg.Wait()
+	}
+	runRound(batches, true)
+	if err := ctx.Err(); err != nil {
+		// The caller hung up; the incomplete gather is cancellation, not
+		// degradation.
+		return nil, err
+	}
+
+	// Round 2: failover. Failed workers are excluded outright — their
+	// breakers have been charged, but a half-open admission must not
+	// route the same slots straight back into the worker that just
+	// dropped them.
+	if len(failed) > 0 {
+		bad := make(map[int]bool)
+		var retry []int
+		for _, f := range failed {
+			bad[f.worker] = true
+			retry = append(retry, f.slots...)
+		}
+		failed = nil
+		again := make(map[int][]int)
+		allowCache2 := make(map[int]bool)
+		allow2 := func(w int) bool {
+			v, ok := allowCache2[w]
+			if !ok {
+				v = c.breakers[w].Allow()
+				allowCache2[w] = v
+			}
+			return v
+		}
+		for _, s := range retry {
+			w := -1
+			for _, cand := range c.ring[s] {
+				if bad[cand] {
+					continue
+				}
+				if allow2(cand) {
+					w = cand
+					break
+				}
+			}
+			if w < 0 {
+				unserved = append(unserved, s)
+				continue
+			}
+			again[w] = append(again[w], s)
+		}
+		if len(again) > 0 {
+			c.failovers.Add(uint64(len(again)))
+			runRound(again, false)
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			for _, f := range failed {
+				unserved = append(unserved, f.slots...)
+			}
+		}
+	}
+
+	out := mergeBatches(oks)
+	if len(unserved) > 0 {
+		names := make(map[string]bool)
+		for _, s := range unserved {
+			names[c.names[slotOwner[s]]] = true
+		}
+		for name := range names {
+			out.missing = append(out.missing, name)
+		}
+		sort.Strings(out.missing)
+		c.degraded.Add(1)
+	}
+	return out, nil
+}
+
+// runBatch fetches one worker's slot batch, optionally racing a hedged
+// backup: if the primary is still silent after the hedging delay, the
+// same batch is fired at the next distinct routable owner and the first
+// success wins. The loser is canceled, and cancellation is never
+// charged to its breaker (gatherRetry checks its context before
+// reporting a failure).
+func (c *Coordinator) runBatch(ctx context.Context, w int, slots []int, reqT api.ShardGatherRequest, hedge bool) (*api.ShardGatherResponse, error) {
+	backup := -1
+	if hedge && c.cfg.HedgeAfter >= 0 {
+		backup = c.hedgeTarget(w, slots[0])
+	}
+	if backup < 0 {
+		return c.gatherRetry(ctx, w, slots, reqT)
+	}
+
+	type res struct {
+		resp   *api.ShardGatherResponse
+		err    error
+		worker int
+	}
+	rctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	ch := make(chan res, 2) // buffered: the loser's send must not block
+	go func(ctx context.Context) {
+		resp, err := c.gatherRetry(ctx, w, slots, reqT)
+		ch <- res{resp, err, w}
+	}(rctx)
+
+	timer := time.NewTimer(c.hedgeDelay())
+	defer timer.Stop()
+	launched := false
+	pending := 1
+	var firstErr error
+	for {
+		select {
+		case r := <-ch:
+			pending--
+			if r.err == nil {
+				if launched && r.worker == backup {
+					c.hedgeWins.Add(1)
+				}
+				return r.resp, nil
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			if pending == 0 {
+				return nil, firstErr
+			}
+		case <-timer.C:
+			if !launched {
+				launched = true
+				pending++
+				c.hedges.Add(1)
+				go func(ctx context.Context) {
+					resp, err := c.gatherRetry(ctx, backup, slots, reqT)
+					ch <- res{resp, err, backup}
+				}(rctx)
+			}
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// hedgeTarget picks the backup worker for a batch: the next distinct
+// owner in the batch's first slot's rendezvous order that looks
+// routable. Routable (not Allow) on purpose — a hedge is speculative
+// and must not consume a half-open probe slot.
+func (c *Coordinator) hedgeTarget(primary, slot int) int {
+	for _, w := range c.ring[slot] {
+		if w == primary {
+			continue
+		}
+		if c.breakers[w].Routable() {
+			return w
+		}
+	}
+	return -1
+}
+
+// gatherRetry is the per-batch retry loop: up to Attempts tries, each
+// under its own ShardTimeout deadline, with capped exponential backoff
+// and seeded jitter between them. Outcomes are charged to the worker's
+// breaker — except when this call's own context ended, which reports
+// the caller's cancellation (hedge race lost, query abandoned), not the
+// worker's health.
+func (c *Coordinator) gatherRetry(ctx context.Context, w int, slots []int, reqT api.ShardGatherRequest) (*api.ShardGatherResponse, error) {
+	req := reqT
+	req.Slots = slots
+	want := api.FingerprintString(c.fp)
+	var lastErr error
+	for attempt := 0; attempt < c.cfg.Attempts; attempt++ {
+		if attempt > 0 {
+			c.retries.Add(1)
+			d := c.cfg.Backoff << (attempt - 1)
+			if d > 2*time.Second {
+				d = 2 * time.Second
+			}
+			d = d/2 + c.jitter(d/2)
+			t := time.NewTimer(d)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return nil, ctx.Err()
+			}
+			t.Stop()
+		}
+		start := time.Now()
+		cctx, cancel := context.WithTimeout(ctx, c.cfg.ShardTimeout)
+		resp, err := c.clients[w].GatherShard(cctx, req)
+		cancel()
+		if err == nil && resp.Fingerprint != want {
+			err = fmt.Errorf("shard: worker %s fingerprint drift: serves %s, fleet agreed on %s", c.names[w], resp.Fingerprint, want)
+		}
+		if err == nil {
+			c.breakers[w].Success()
+			c.observeLatency(time.Since(start))
+			return resp, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return nil, err
+		}
+		c.breakers[w].Failure()
+	}
+	return nil, lastErr
+}
+
+// decodeBatch unpacks and validates one worker response.
+func decodeBatch(resp *api.ShardGatherResponse) (gatherDone, error) {
+	if len(resp.Items) != len(resp.Counts) {
+		return gatherDone{}, fmt.Errorf("shard: response items/counts length mismatch: %d != %d", len(resp.Items), len(resp.Counts))
+	}
+	ts, err := api.DecodeTuples(resp.Tuples)
+	if err != nil {
+		return gatherDone{}, err
+	}
+	total := 0
+	for _, n := range resp.Counts {
+		total += n
+	}
+	if total != len(ts) {
+		return gatherDone{}, fmt.Errorf("shard: response counts sum to %d but %d tuples decoded", total, len(ts))
+	}
+	return gatherDone{items: resp.Items, counts: resp.Counts, tuples: ts}, nil
+}
+
+// mergeBatches splices per-worker slices back into the single-node
+// order: a k-way merge on ascending item ID (batches own disjoint slot
+// sets, so their item sets are disjoint), appending each item's
+// already-time-sorted tuple run as it is taken. The result is exactly
+// what store.TuplesForItems(allIDs, window) would have produced on one
+// node — the property the byte-identical-results guarantee rests on.
+func mergeBatches(batches []gatherDone) *gatherOut {
+	out := &gatherOut{}
+	idx := make([]int, len(batches))  // per-batch item cursor
+	offs := make([]int, len(batches)) // per-batch tuple offset
+	for {
+		best := -1
+		for bi := range batches {
+			if idx[bi] >= len(batches[bi].items) {
+				continue
+			}
+			if best < 0 || batches[bi].items[idx[bi]] < batches[best].items[idx[best]] {
+				best = bi
+			}
+		}
+		if best < 0 {
+			return out
+		}
+		b := &batches[best]
+		i := idx[best]
+		n := b.counts[i]
+		out.items = append(out.items, b.items[i])
+		out.tuples = append(out.tuples, b.tuples[offs[best]:offs[best]+n]...)
+		idx[best]++
+		offs[best] += n
+	}
+}

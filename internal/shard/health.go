@@ -1,0 +1,49 @@
+package shard
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/api"
+)
+
+// healthLoop walks the breakers on a fixed cadence and probes every
+// worker whose circuit is not closed with the cheap /shard/info
+// handshake. Queries already report outcomes for the workers they
+// touch; the loop exists for the workers queries are AVOIDING — an open
+// breaker would otherwise only be re-tested when routing happens to
+// admit its half-open probe, so a recovered worker could sit unused
+// behind an open circuit indefinitely on a quiet coordinator. The probe
+// re-checks the fingerprint: a worker that came back serving different
+// data (a redeploy against a new snapshot) must stay out of the ring,
+// or merged plans would splice two datasets.
+func (c *Coordinator) healthLoop(ctx context.Context) {
+	want := api.FingerprintString(c.fp)
+	t := time.NewTicker(c.cfg.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		for w := range c.clients {
+			b := c.breakers[w]
+			if b.current() == stateClosed {
+				continue
+			}
+			if !b.Allow() {
+				continue
+			}
+			info, err := c.shardInfo(ctx, w)
+			if err != nil || info.Fingerprint != want {
+				if ctx.Err() != nil {
+					return
+				}
+				b.Failure()
+				continue
+			}
+			b.Success()
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package shard
+
+import (
+	"hash/fnv"
+	"sort"
+
+	"repro/internal/rng"
+)
+
+// buildRing computes the rendezvous (highest-random-weight) owner order
+// for every slot: ring[slot] lists worker indices by descending
+// Mix(slot, workerHash) weight, so ring[slot][0] is the slot's primary
+// and the tail is its failover order. Rendezvous rather than a ketama
+// ring because the worker set is small and static per coordinator: the
+// full table is precomputed once, and removing one worker reassigns
+// only that worker's slots (each slot just promotes its next-ranked
+// owner), which keeps failover routing and plan-cache locality stable
+// through a worker outage.
+func buildRing(workers []string, numSlots int) [][]int {
+	hashes := make([]uint64, len(workers))
+	for i, w := range workers {
+		h := fnv.New64a()
+		h.Write([]byte(w))
+		hashes[i] = h.Sum64()
+	}
+	ring := make([][]int, numSlots)
+	for s := range ring {
+		weights := make([]uint64, len(workers))
+		for w := range workers {
+			weights[w] = rng.Mix(uint64(s), hashes[w])
+		}
+		order := make([]int, len(workers))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool {
+			if weights[order[a]] != weights[order[b]] {
+				return weights[order[a]] > weights[order[b]]
+			}
+			return order[a] < order[b]
+		})
+		ring[s] = order
+	}
+	return ring
+}

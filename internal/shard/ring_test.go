@@ -1,0 +1,59 @@
+package shard
+
+import "testing"
+
+func TestRingEverySlotIsAFullPermutation(t *testing.T) {
+	workers := []string{"w1:80", "w2:80", "w3:80", "w4:80"}
+	ring := buildRing(workers, 64)
+	if len(ring) != 64 {
+		t.Fatalf("ring has %d slots, want 64", len(ring))
+	}
+	for s, order := range ring {
+		seen := make(map[int]bool)
+		for _, w := range order {
+			if w < 0 || w >= len(workers) || seen[w] {
+				t.Fatalf("slot %d order %v is not a permutation", s, order)
+			}
+			seen[w] = true
+		}
+		if len(seen) != len(workers) {
+			t.Fatalf("slot %d order %v misses workers", s, order)
+		}
+	}
+}
+
+func TestRingSpreadsPrimaries(t *testing.T) {
+	workers := []string{"w1:80", "w2:80", "w3:80"}
+	ring := buildRing(workers, 64)
+	counts := make([]int, len(workers))
+	for _, order := range ring {
+		counts[order[0]]++
+	}
+	for w, n := range counts {
+		if n == 0 {
+			t.Errorf("worker %d owns no slots as primary: %v", w, counts)
+		}
+	}
+}
+
+// Rendezvous stability: dropping one worker must only promote within
+// each slot's existing order — every surviving worker keeps its
+// relative rank, so only the dead worker's slots move.
+func TestRingFailoverIsMinimal(t *testing.T) {
+	all := []string{"w1:80", "w2:80", "w3:80"}
+	ringAll := buildRing(all, 64)
+	ringTwo := buildRing(all[:2], 64)
+	for s := range ringAll {
+		var survivors []int
+		for _, w := range ringAll[s] {
+			if w < 2 {
+				survivors = append(survivors, w)
+			}
+		}
+		for i, w := range ringTwo[s] {
+			if survivors[i] != w {
+				t.Fatalf("slot %d: removing w3 reordered survivors: %v vs %v", s, ringAll[s], ringTwo[s])
+			}
+		}
+	}
+}

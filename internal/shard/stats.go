@@ -1,0 +1,13 @@
+package shard
+
+import "repro/internal/api"
+
+// Stats is the coordinator's /statsz section: scatter-gather counters
+// plus one row per worker with its circuit-breaker state. The concrete
+// type lives in internal/api with the rest of the wire surface, so the
+// HTTP server can render it without importing this package (which would
+// close an import cycle through pkg/client).
+type Stats = api.ShardStats
+
+// WorkerStats is one worker's health row.
+type WorkerStats = api.ShardWorkerStats

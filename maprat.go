@@ -264,6 +264,10 @@ type TaskResult struct {
 	// RelaxedCoverage is the α actually used after automatic relaxation
 	// (equal to the requested α when no relaxation was needed).
 	RelaxedCoverage float64
+	// Degraded lists the shards that could not contribute to this result.
+	// A single-node engine never sets it; a distributed serving tier sets
+	// it on results mined from a partial gather (see Explanation.Degraded).
+	Degraded []string
 }
 
 // Explanation is the full result of Explain: everything Figure 2 renders.
@@ -275,6 +279,13 @@ type Explanation struct {
 	Results    []TaskResult
 	FromCache  bool
 	Elapsed    time.Duration
+	// Degraded lists the shards (worker names) whose data is missing from
+	// this result. It is empty/nil for a complete result — including every
+	// result from a single-node engine — and non-empty only when a
+	// distributed serving tier answered from a partial gather rather than
+	// failing the query. Callers that cannot tolerate partial answers
+	// should treat a non-empty Degraded as an error.
+	Degraded []string
 }
 
 // Result returns the TaskResult for a task, or nil.
@@ -296,9 +307,11 @@ func (ex *Explanation) Clone() *Explanation {
 	out := *ex
 	out.Query.Preds = append([]query.Pred(nil), ex.Query.Preds...)
 	out.ItemIDs = append([]int(nil), ex.ItemIDs...)
+	out.Degraded = append([]string(nil), ex.Degraded...)
 	out.Results = make([]TaskResult, len(ex.Results))
 	for i, tr := range ex.Results {
 		tr.Groups = append([]GroupResult(nil), tr.Groups...)
+		tr.Degraded = append([]string(nil), tr.Degraded...)
 		out.Results[i] = tr
 	}
 	return &out
@@ -314,6 +327,12 @@ var (
 	// query's candidate cube (a stale or mistyped key).
 	ErrNoGroup = errors.New("maprat: group not present for query")
 )
+
+// ErrUnavailable reports that a distributed serving tier could not reach
+// enough of its workers to answer at all. Partial shard failures degrade
+// instead (Explanation.Degraded); total failure is this error, which the
+// HTTP layer maps to 503 so clients retry.
+var ErrUnavailable = errors.New("maprat: no shards reachable")
 
 func groupNotFound(key Key, q Query) error {
 	return fmt.Errorf("%w: %v (query %s)", ErrNoGroup, key, q)
@@ -386,18 +405,41 @@ func (e *Engine) explainUncached(ctx context.Context, req ExplainRequest, start 
 	if err != nil {
 		return nil, err
 	}
+	ex, err := MinePlan(ctx, p, req)
+	if err != nil {
+		return nil, err
+	}
+	ex.Elapsed = time.Since(start)
+	e.mines.Add(1)
+	return ex, nil
+}
 
+// MinePlan runs the mining stage of Explain over an already-materialized
+// plan: one RHE solve per requested sub-problem, with the same defaults
+// and coverage relaxation Explain applies. Exported for serving tiers
+// that assemble plans outside a local engine — the scatter-gather
+// coordinator gathers R_I from its workers, rebuilds the cube locally,
+// and mines here; routing both through this one function is what makes
+// distributed results byte-identical to single-node ones. The returned
+// Explanation's Elapsed is zero; the caller stamps it.
+func MinePlan(ctx context.Context, p *store.Plan, req ExplainRequest) (*Explanation, error) {
+	if req.Settings.K == 0 {
+		req.Settings = DefaultSettings()
+	}
+	if len(req.Tasks) == 0 {
+		req.Tasks = []Task{SimilarityMining, DiversityMining}
+	}
 	ex := &Explanation{
 		Query: req.Query,
-		// Copy out of the shared plan; ex is cached and cloned on the way
-		// out, but the construction-time copy keeps the uncached path safe
-		// to mutate too.
+		// Copy out of the shared plan; ex may be cached and cloned on the
+		// way out, but the construction-time copy keeps the uncached path
+		// safe to mutate too.
 		ItemIDs:    append([]int(nil), p.ItemIDs...),
 		NumRatings: len(p.Tuples),
 		Overall:    p.Overall,
 	}
 	for _, task := range req.Tasks {
-		tr, err := e.solveTask(ctx, task, p.Cube, req)
+		tr, err := solveTask(ctx, task, p.Cube, req)
 		if err != nil {
 			if errors.Is(err, ctx.Err()) {
 				return nil, err
@@ -406,8 +448,6 @@ func (e *Engine) explainUncached(ctx context.Context, req ExplainRequest, start 
 		}
 		ex.Results = append(ex.Results, tr)
 	}
-	ex.Elapsed = time.Since(start)
-	e.mines.Add(1)
 	return ex, nil
 }
 
@@ -420,24 +460,29 @@ func (e *Engine) baseCubeConfig(override *cube.Config) cube.Config {
 	return e.cubeCfg
 }
 
-// groupCubeConfig picks the base cube config a group key needs: a key
+// GroupCubeConfig picks the base cube config a group key needs: a key
 // without a state condition came from a framework-mode (un-anchored)
 // mining run, so the cube must be rebuilt accordingly or the key cannot
-// materialize.
-func (e *Engine) groupCubeConfig(key Key) cube.Config {
-	cfg := e.cubeCfg
+// materialize. Exported so plan-assembling serving tiers derive exactly
+// the config the engine would for the same key.
+func GroupCubeConfig(base cube.Config, key Key) cube.Config {
 	if !key.Has(cube.State) {
-		cfg.RequireState = false
+		base.RequireState = false
 	}
-	return cfg
+	return base
 }
 
-// planKey canonicalizes the (query, window, cube config) triple the
+func (e *Engine) groupCubeConfig(key Key) cube.Config {
+	return GroupCubeConfig(e.cubeCfg, key)
+}
+
+// PlanKey canonicalizes the (query, window, cube config) triple the
 // materialization tier is keyed by; the window rides inside
 // Query.String(). The config is the pre-adaptation base: MinSupport
 // adaptation is a pure function of the gathered tuple count, which is
 // itself determined by the key, so keying on the base config is sound.
-func planKey(q Query, cfg cube.Config) string {
+// Exported so external plan caches key identically to the engine's.
+func PlanKey(q Query, cfg cube.Config) string {
 	return fmt.Sprintf("plan|%s|cube=%+v", q.String(), cfg)
 }
 
@@ -477,7 +522,7 @@ func (e *Engine) planFor(ctx context.Context, q Query, base cube.Config) (*store
 	if pc == nil {
 		return e.buildPlan(q, base)
 	}
-	p, _, err := pc.GetOrBuild(ctx, planKey(q, base), func() (*store.Plan, error) {
+	p, _, err := pc.GetOrBuild(ctx, PlanKey(q, base), func() (*store.Plan, error) {
 		return e.buildPlan(q, base)
 	})
 	return p, err //maprat:allow(clonecheck) store.Plan is immutable by contract (see the Plan doc); consumers only read, so the shared pointer is safe
@@ -531,7 +576,7 @@ func AdaptCubeConfig(cfg cube.Config, numTuples int) cube.Config {
 
 // solveTask runs one sub-problem, relaxing the coverage constraint
 // stepwise when the instance is infeasible (unless disabled).
-func (e *Engine) solveTask(ctx context.Context, task Task, c *cube.Cube, req ExplainRequest) (TaskResult, error) {
+func solveTask(ctx context.Context, task Task, c *cube.Cube, req ExplainRequest) (TaskResult, error) {
 	s := req.Settings
 	alphas := []float64{s.Coverage}
 	if !req.DisableRelax {
@@ -619,6 +664,9 @@ type GroupExploration struct {
 	// (refineLimit < 0) or when the group has no drill-deeper children in
 	// the cube.
 	Refinements []Refinement
+	// Degraded lists the shards missing from the underlying gather (see
+	// Explanation.Degraded); always nil from a single-node engine.
+	Degraded []string
 }
 
 // ExploreGroup recomputes the Figure-3 exploration for one explanation
@@ -659,6 +707,13 @@ func (e *Engine) ExploreFullContext(ctx context.Context, q Query, key Key, bucke
 	if err != nil {
 		return nil, err
 	}
+	return ExplorePlan(ctx, p, q, key, buckets, refineLimit)
+}
+
+// ExplorePlan computes the per-group exploration from an
+// already-materialized plan — the plan-parameterized core of
+// ExploreFullContext, exported for plan-assembling serving tiers.
+func ExplorePlan(ctx context.Context, p *store.Plan, q Query, key Key, buckets, refineLimit int) (*GroupExploration, error) {
 	g, ok := p.Cube.Group(key)
 	if !ok {
 		return nil, groupNotFound(key, q)
@@ -724,6 +779,13 @@ func (e *Engine) RefineGroupContext(ctx context.Context, q Query, key Key, limit
 	if err != nil {
 		return nil, err
 	}
+	return RefinePlan(p, q, key, limit)
+}
+
+// RefinePlan computes a group's drill-deeper refinements from an
+// already-materialized plan — the plan-parameterized core of
+// RefineGroupContext, exported for plan-assembling serving tiers.
+func RefinePlan(p *store.Plan, q Query, key Key, limit int) ([]Refinement, error) {
 	g, ok := p.Cube.Group(key)
 	if !ok {
 		return nil, groupNotFound(key, q)
@@ -754,6 +816,17 @@ func (e *Engine) DrillMineContext(ctx context.Context, q Query, parent Key, task
 	p, err := e.planFor(ctx, q, e.groupCubeConfig(parent))
 	if err != nil {
 		return nil, err
+	}
+	return DrillPlan(ctx, p, q, parent, task, s)
+}
+
+// DrillPlan mines the city-anchored sub-groups inside a parent group from
+// an already-materialized plan — the plan-parameterized core of
+// DrillMineContext, exported for plan-assembling serving tiers. Settings
+// must already be defaulted (s.K > 0).
+func DrillPlan(ctx context.Context, p *store.Plan, q Query, parent Key, task Task, s Settings) (*TaskResult, error) {
+	if s.K == 0 {
+		s = DefaultSettings()
 	}
 	pg, ok := p.Cube.Group(parent)
 	if !ok {
@@ -876,8 +949,16 @@ func (e *Engine) EvolutionContext(ctx context.Context, req ExplainRequest) ([]Ev
 
 // RenderExploration converts an explanation into the paper's set of
 // choropleth maps (one per sub-problem), ready for SVG or terminal
-// rendering.
+// rendering. The engine method delegates here; the package-level form
+// serves front-ends rendering explanations mined elsewhere (e.g. behind
+// a coordinator).
 func (e *Engine) RenderExploration(ex *Explanation) *viz.Exploration {
+	return RenderExploration(ex)
+}
+
+// RenderExploration is the package-level form of
+// (*Engine).RenderExploration — it depends only on the explanation.
+func RenderExploration(ex *Explanation) *viz.Exploration {
 	out := &viz.Exploration{Query: ex.Query.String()}
 	for _, tr := range ex.Results {
 		m := viz.Map{Title: taskTitle(tr.Task, ex)}

@@ -26,6 +26,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -106,6 +107,16 @@ type Client struct {
 	hc       *http.Client
 	attempts int
 	backoff  time.Duration
+	// jitter draws a random duration from [0, max); tests substitute a
+	// deterministic one.
+	jitter func(max time.Duration) time.Duration
+}
+
+func randJitter(max time.Duration) time.Duration {
+	if max <= 0 {
+		return 0
+	}
+	return time.Duration(rand.Int63n(int64(max)))
 }
 
 // New builds a client for a server base URL like "http://host:8080".
@@ -123,6 +134,7 @@ func New(baseURL string, opts ...Option) (*Client, error) {
 		hc:       &http.Client{},
 		attempts: 3,
 		backoff:  200 * time.Millisecond,
+		jitter:   randJitter,
 	}
 	for _, o := range opts {
 		o(c)
@@ -162,7 +174,13 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 }
 
 // sleep waits out the backoff before retry #attempt, preferring the
-// server's Retry-After hint when the last failure carried one.
+// server's Retry-After hint when the last failure carried one. The wait
+// always selects on ctx, so cancellation cuts it short. Both waits are
+// jittered: the exponential backoff with equal jitter ([d/2, d)), the
+// Retry-After hint upward by up to 25% — many synchronized callers (the
+// coordinator's scatter-gather retries after a worker blip) otherwise
+// all reach the recovering server on the same tick and knock it over
+// again.
 func (c *Client) sleep(ctx context.Context, lastErr error, attempt int) error {
 	d := c.backoff << (attempt - 1)
 	if d > 10*time.Second {
@@ -170,7 +188,10 @@ func (c *Client) sleep(ctx context.Context, lastErr error, attempt int) error {
 	}
 	var ae *APIError
 	if errors.As(lastErr, &ae) && ae.RetryAfter > 0 {
-		d = ae.RetryAfter
+		// Never retry before the server asked; spread the herd after it.
+		d = ae.RetryAfter + c.jitter(ae.RetryAfter/4)
+	} else if d > 0 {
+		d = d/2 + c.jitter(d/2)
 	}
 	t := time.NewTimer(d)
 	defer t.Stop()
@@ -339,19 +360,56 @@ func Terminal(state string) bool {
 	return state == "done" || state == "failed" || state == "canceled"
 }
 
+// JobFailedError is the typed error WaitJob and StreamJob return for a
+// job that reached the terminal "failed" state, carrying the envelope
+// code so callers can dispatch on it (errors.As). The terminal status
+// is still returned alongside the error.
+type JobFailedError struct {
+	ID      string
+	Code    api.ErrorCode
+	Message string
+}
+
+// Error implements error.
+func (e *JobFailedError) Error() string {
+	return fmt.Sprintf("maprat job %s failed: %s: %s", e.ID, e.Code, e.Message)
+}
+
+// failedJobError converts a terminal snapshot into its typed error (nil
+// unless the state is "failed"). A canceled job is not an error: the
+// caller asked for that outcome.
+func failedJobError(st *JobStatus) error {
+	if st.State != "failed" {
+		return nil
+	}
+	e := &JobFailedError{ID: st.ID, Code: api.CodeInternal, Message: "job failed"}
+	if st.Error != nil {
+		e.Code, e.Message = st.Error.Code, st.Error.Message
+	}
+	return e
+}
+
 // WaitJob polls until the job reaches a terminal state (or ctx ends),
-// backing off from 50ms to 1s between polls. It returns the terminal
-// status; a failed or canceled job is not an error at this layer — the
-// caller inspects Status.State and Status.Error.
+// backing off from 50ms to 1s between polls. A 429 from the poll —
+// admission control pushing back harder than the do() retry budget —
+// does not fail the wait: the server's Retry-After becomes the next
+// poll delay. A job that terminates in the "failed" state returns its
+// status AND a *JobFailedError carrying the envelope code; "done" and
+// "canceled" return a nil error.
 func (c *Client) WaitJob(ctx context.Context, id string) (*JobStatus, error) {
 	delay := 50 * time.Millisecond
 	for {
 		st, err := c.GetJob(ctx, id)
 		if err != nil {
-			return nil, err
-		}
-		if Terminal(st.State) {
-			return st, nil
+			var ae *APIError
+			if !errors.As(err, &ae) || ae.Status != http.StatusTooManyRequests || ctx.Err() != nil {
+				return nil, err
+			}
+			if ae.RetryAfter > delay {
+				delay = ae.RetryAfter
+			}
+		} else if Terminal(st.State) {
+			return st, failedJobError(st)
 		}
 		t := time.NewTimer(delay)
 		select {

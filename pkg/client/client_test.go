@@ -142,6 +142,16 @@ func asAPIError(err error, out **APIError) bool {
 	return false
 }
 
+func asJobFailed(err error, out **JobFailedError) bool {
+	for ; err != nil; err = unwrap(err) {
+		if je, ok := err.(*JobFailedError); ok {
+			*out = je
+			return true
+		}
+	}
+	return false
+}
+
 func unwrap(err error) error {
 	u, ok := err.(interface{ Unwrap() error })
 	if !ok {
@@ -275,4 +285,198 @@ func TestRetryBackoff(t *testing.T) {
 		t.Fatalf("hits = %d, want exactly the retry budget", hits)
 	}
 	mu.Unlock()
+}
+
+// TestJitterBounds pins the jitter contract the backoff math relies on:
+// zero max draws zero, and every draw stays inside [0, max).
+func TestJitterBounds(t *testing.T) {
+	if got := randJitter(0); got != 0 {
+		t.Errorf("randJitter(0) = %v, want 0", got)
+	}
+	if got := randJitter(-time.Second); got != 0 {
+		t.Errorf("randJitter(-1s) = %v, want 0", got)
+	}
+	const max = 100 * time.Millisecond
+	for i := 0; i < 256; i++ {
+		if got := randJitter(max); got < 0 || got >= max {
+			t.Fatalf("randJitter(%v) = %v, outside [0, max)", max, got)
+		}
+	}
+}
+
+// TestSleepHonorsContext: the retry backoff must select on ctx, not
+// block through it — a canceled caller is released immediately.
+func TestSleepHonorsContext(t *testing.T) {
+	c, err := New("http://example.test", WithRetry(3, time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if err := c.sleep(ctx, nil, 1); err != context.DeadlineExceeded {
+		t.Fatalf("sleep returned %v, want DeadlineExceeded", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("canceled sleep blocked for %v", d)
+	}
+}
+
+// TestSleepJittersBackoffAndRetryAfter pins the two jitter shapes:
+// exponential backoff draws from [d/2, d), a Retry-After hint is only
+// ever stretched upward (never served early), by at most 25%.
+func TestSleepJittersBackoffAndRetryAfter(t *testing.T) {
+	c, err := New("http://example.test", WithRetry(3, 80*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var draws []time.Duration
+	c.jitter = func(max time.Duration) time.Duration {
+		draws = append(draws, max)
+		return max - 1 // worst case: the largest admissible draw
+	}
+
+	// Plain exponential backoff: attempt 1 waits within [base/2, base).
+	start := time.Now()
+	if err := c.sleep(context.Background(), nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 40*time.Millisecond {
+		t.Errorf("backoff slept %v, want >= base/2", d)
+	}
+	if len(draws) != 1 || draws[0] != 40*time.Millisecond {
+		t.Fatalf("backoff jitter draws = %v, want [base/2]", draws)
+	}
+
+	// Retry-After overrides the computed backoff and jitters upward.
+	draws = nil
+	hint := &APIError{Status: http.StatusTooManyRequests, RetryAfter: 40 * time.Millisecond}
+	start = time.Now()
+	if err := c.sleep(context.Background(), hint, 1); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 40*time.Millisecond {
+		t.Errorf("Retry-After slept %v, retried before the server asked", d)
+	}
+	if len(draws) != 1 || draws[0] != 10*time.Millisecond {
+		t.Fatalf("Retry-After jitter draws = %v, want [hint/4]", draws)
+	}
+}
+
+// TestWaitJobRidesOut429 pins the admission-control contract: a 429
+// from the status poll is not a wait failure — the server's Retry-After
+// becomes the next poll delay and the wait continues to the terminal
+// state.
+func TestWaitJobRidesOut429(t *testing.T) {
+	var mu sync.Mutex
+	polls := 0
+	fake := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		defer mu.Unlock()
+		polls++
+		w.Header().Set("Content-Type", "application/json")
+		if polls <= 2 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":{"code":"queue_full","message":"busy"}}`))
+			return
+		}
+		w.Write([]byte(`{"id":"job-000007","op":"explain","state":"done","created":"2026-01-01T00:00:00Z"}`))
+	}))
+	defer fake.Close()
+
+	// WithRetry(1, 0) turns off do()'s own retries, so WaitJob's loop is
+	// the only thing keeping the poll alive.
+	c, err := New(fake.URL, WithRetry(1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	start := time.Now()
+	st, err := c.WaitJob(ctx, "job-000007")
+	if err != nil {
+		t.Fatalf("WaitJob failed on 429: %v", err)
+	}
+	if st.State != "done" {
+		t.Fatalf("state = %q, want done", st.State)
+	}
+	// Two 429s each carrying Retry-After: 1 → at least ~2s of hint-driven
+	// delay before the third poll succeeds.
+	if d := time.Since(start); d < 2*time.Second {
+		t.Errorf("wait finished in %v; Retry-After hints were not honored", d)
+	}
+	mu.Lock()
+	if polls != 3 {
+		t.Errorf("polled %d times, want 3", polls)
+	}
+	mu.Unlock()
+}
+
+// TestWaitJobReturnsTypedFailure: a job that terminates in "failed"
+// surfaces both the terminal status and a *JobFailedError carrying the
+// envelope code.
+func TestWaitJobReturnsTypedFailure(t *testing.T) {
+	fake := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"id":"job-000008","op":"explain","state":"failed","created":"2026-01-01T00:00:00Z","error":{"code":"bad_query","message":"unknown field"}}`))
+	}))
+	defer fake.Close()
+
+	c, err := New(fake.URL, WithRetry(1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.WaitJob(context.Background(), "job-000008")
+	if st == nil || st.State != "failed" {
+		t.Fatalf("terminal status = %+v, want the failed snapshot alongside the error", st)
+	}
+	var jfe *JobFailedError
+	if !asJobFailed(err, &jfe) {
+		t.Fatalf("WaitJob returned %v, want *JobFailedError", err)
+	}
+	if jfe.ID != "job-000008" || string(jfe.Code) != "bad_query" || jfe.Message != "unknown field" {
+		t.Errorf("JobFailedError = %+v, envelope fields not carried over", jfe)
+	}
+}
+
+// TestStreamJobReturnsTypedFailure: the SSE path classifies a failed
+// terminal event the same way WaitJob does.
+func TestStreamJobReturnsTypedFailure(t *testing.T) {
+	status := `{"id":"job-000009","op":"explain","state":"failed","created":"2026-01-01T00:00:00Z","error":{"code":"internal","message":"solver blew up"}}`
+	fake := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get("Accept") == "text/event-stream" {
+			w.Header().Set("Content-Type", "text/event-stream")
+			w.Write([]byte("event: failed\ndata: " + status + "\n\n"))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(status))
+	}))
+	defer fake.Close()
+
+	c, err := New(fake.URL, WithRetry(1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawTerminal bool
+	st, err := c.StreamJob(context.Background(), "job-000009", func(ev JobEvent) error {
+		if ev.Terminal() {
+			sawTerminal = true
+		}
+		return nil
+	})
+	if !sawTerminal {
+		t.Error("terminal SSE event never reached the callback")
+	}
+	if st == nil || st.State != "failed" {
+		t.Fatalf("terminal status = %+v, want the failed snapshot alongside the error", st)
+	}
+	var jfe *JobFailedError
+	if !asJobFailed(err, &jfe) {
+		t.Fatalf("StreamJob returned %v, want *JobFailedError", err)
+	}
+	if string(jfe.Code) != "internal" || jfe.Message != "solver blew up" {
+		t.Errorf("JobFailedError = %+v, envelope fields not carried over", jfe)
+	}
 }

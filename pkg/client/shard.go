@@ -1,0 +1,42 @@
+package client
+
+import (
+	"context"
+	"net/http"
+
+	"repro/internal/api"
+)
+
+// The scatter-gather wire types, re-exported like the rest of the
+// contract.
+type (
+	// ShardInfoResponse is the worker identity handshake payload.
+	ShardInfoResponse = api.ShardInfoResponse
+	// ShardGatherRequest asks a worker for the R_I slice owned by a set
+	// of hash slots.
+	ShardGatherRequest = api.ShardGatherRequest
+	// ShardGatherResponse is one worker's slice of a gather.
+	ShardGatherResponse = api.ShardGatherResponse
+)
+
+// ShardInfo fetches the worker's dataset identity — the coordinator's
+// boot handshake and health probe.
+func (c *Client) ShardInfo(ctx context.Context) (*ShardInfoResponse, error) {
+	var out ShardInfoResponse
+	if err := c.do(ctx, http.MethodGet, "/api/v1/shard/info", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// GatherShard fetches the query's R_I slice for the requested slots.
+// Coordinators construct their clients with WithRetry(1, 0): the shard
+// layer owns retries, backoff and hedging, and double-retrying here
+// would blur its breaker accounting.
+func (c *Client) GatherShard(ctx context.Context, req ShardGatherRequest) (*ShardGatherResponse, error) {
+	var out ShardGatherResponse
+	if err := c.post(ctx, "/api/v1/shard/gather", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}

@@ -53,7 +53,8 @@ func (ev JobEvent) Terminal() bool { return Terminal(ev.Type) }
 // full job status (with the result document) via GetJob. The stream
 // itself is not retried — a caller that loses it mid-job falls back to
 // WaitJob, which is what StreamJob does if the connection drops after
-// the job was observed running.
+// the job was observed running. Like WaitJob, a job that terminates in
+// the "failed" state returns its status and a *JobFailedError.
 func (c *Client) StreamJob(ctx context.Context, id string, fn func(JobEvent) error) (*JobStatus, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
 		c.url("/api/v1/jobs/"+url.PathEscape(id)+"/events"), nil)
@@ -100,7 +101,13 @@ func (c *Client) StreamJob(ctx context.Context, id string, fn func(JobEvent) err
 				return nil, err
 			}
 			if terminal {
-				return c.GetJob(ctx, id)
+				st, err := c.GetJob(ctx, id)
+				if err != nil {
+					return nil, err
+				}
+				// Like WaitJob: a failed job surfaces as a typed error
+				// alongside its terminal status.
+				return st, failedJobError(st)
 			}
 		case strings.HasPrefix(line, "event:"):
 			ev.Type = strings.TrimSpace(strings.TrimPrefix(line, "event:"))

@@ -21,10 +21,12 @@ type DatasetInfo struct {
 	OpenDuration time.Duration
 }
 
-// Mount pairs an opened engine with its dataset identity.
+// Mount pairs a mounted miner with its dataset identity. The field keeps
+// the name Engine from the single-node era, but any Miner mounts — a
+// coordinator mount serves the same surface as a local engine.
 type Mount struct {
 	Name   string
-	Engine *Engine
+	Engine Miner
 	Info   DatasetInfo
 }
 
@@ -46,7 +48,7 @@ func NewRegistry() *Registry {
 // NewSingleRegistry wraps one engine as the sole (default) mount — the
 // compatibility construction for servers that predate multi-dataset
 // serving.
-func NewSingleRegistry(name string, eng *Engine, info DatasetInfo) *Registry {
+func NewSingleRegistry(name string, eng Miner, info DatasetInfo) *Registry {
 	r := NewRegistry()
 	if err := r.Add(name, eng, info); err != nil {
 		// Only a duplicate name can fail, impossible with one mount.
@@ -55,9 +57,9 @@ func NewSingleRegistry(name string, eng *Engine, info DatasetInfo) *Registry {
 	return r
 }
 
-// Add mounts an engine under a name. Names are case-sensitive and must
+// Add mounts a miner under a name. Names are case-sensitive and must
 // be unique; the first Add becomes the default dataset.
-func (r *Registry) Add(name string, eng *Engine, info DatasetInfo) error {
+func (r *Registry) Add(name string, eng Miner, info DatasetInfo) error {
 	if name == "" {
 		return fmt.Errorf("maprat: empty dataset name")
 	}
