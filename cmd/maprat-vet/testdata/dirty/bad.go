@@ -1,0 +1,7 @@
+package dirty
+
+import "fmt"
+
+func wrap(err error) error {
+	return fmt.Errorf("x: %v", err)
+}

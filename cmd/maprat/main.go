@@ -212,7 +212,7 @@ func runExplain(eng *maprat.Engine, req maprat.ExplainRequest, color bool) error
 func runExplore(eng *maprat.Engine, q maprat.Query, keyStr string) error {
 	key, err := cube.ParseKey(keyStr)
 	if err != nil {
-		return fmt.Errorf("parse key: %v", err)
+		return fmt.Errorf("parse key: %w", err)
 	}
 	st, related, err := eng.ExploreGroup(q, key, 0)
 	if err != nil {
@@ -257,7 +257,7 @@ func runExplore(eng *maprat.Engine, q maprat.Query, keyStr string) error {
 func runDrill(eng *maprat.Engine, q maprat.Query, keyStr string, s maprat.Settings) error {
 	key, err := cube.ParseKey(keyStr)
 	if err != nil {
-		return fmt.Errorf("parse key: %v", err)
+		return fmt.Errorf("parse key: %w", err)
 	}
 	s.Coverage = 0.25 // city sub-groups partition the parent; a quarter is realistic
 	tr, err := eng.DrillMine(q, key, maprat.SimilarityMining, s)

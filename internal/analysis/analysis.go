@@ -37,6 +37,10 @@ type Analyzer struct {
 	Name string
 	// Doc is the one-paragraph rule description shown by maprat-vet -list.
 	Doc string
+	// Version participates in the incremental-cache key; bump it whenever
+	// the analyzer's logic changes so stale cached findings die with the
+	// old behavior. Empty means "1".
+	Version string
 	// Run reports the analyzer's findings on one package.
 	Run func(*Pass) error
 }
@@ -67,6 +71,28 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ReportFix records a finding at pos carrying a suggested fix that
+// `maprat-vet -fix` can apply (and `-diff` can preview).
+func (p *Pass) ReportFix(pos token.Pos, fix SuggestedFix, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer:       p.Analyzer.Name,
+		File:           position.Filename,
+		Line:           position.Line,
+		Col:            position.Column,
+		Message:        fmt.Sprintf(format, args...),
+		SuggestedFixes: []SuggestedFix{fix},
+	})
+}
+
+// Edit builds a TextEdit replacing the source range [from, to) with new
+// text, resolving token positions to byte offsets in the original file.
+func (p *Pass) Edit(from, to token.Pos, new string) TextEdit {
+	start := p.Fset.Position(from)
+	end := p.Fset.Position(to)
+	return TextEdit{File: start.Filename, Start: start.Offset, End: end.Offset, New: new}
+}
+
 // Diagnostic is one finding, positioned in the original source.
 type Diagnostic struct {
 	Analyzer string `json:"analyzer"`
@@ -74,6 +100,24 @@ type Diagnostic struct {
 	Line     int    `json:"line"`
 	Col      int    `json:"col"`
 	Message  string `json:"message"`
+	// SuggestedFixes are machine-applicable repairs for the finding; the
+	// first one is what -fix applies. Empty for advice-only findings.
+	SuggestedFixes []SuggestedFix `json:"suggested_fixes,omitempty"`
+}
+
+// SuggestedFix is one machine-applicable repair: a message plus the text
+// edits that realize it. Edits within one fix must not overlap.
+type SuggestedFix struct {
+	Message string     `json:"message"`
+	Edits   []TextEdit `json:"edits"`
+}
+
+// TextEdit replaces the byte range [Start, End) of File with New.
+type TextEdit struct {
+	File  string `json:"file"`
+	Start int    `json:"start"`
+	End   int    `json:"end"`
+	New   string `json:"new"`
 }
 
 func (d Diagnostic) String() string {

@@ -9,6 +9,10 @@ func All() []*Analyzer {
 		Envelope,
 		Aliasguard,
 		Clonecheck,
+		Lockcheck,
+		Mergeorder,
+		Errflow,
+		Hotalloc,
 	}
 }
 

@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+)
+
+// cacheSchema versions the on-disk entry format; bumping it invalidates
+// every existing entry at once.
+const cacheSchema = "maprat-vet-cache-1"
+
+// DefaultCacheDir is where warm-run results live unless overridden:
+// os.UserCacheDir()/maprat-vet. The MAPRAT_VET_CACHE_DIR environment
+// variable (used by CI and tests) takes precedence over both.
+func DefaultCacheDir() (string, error) {
+	if env := os.Getenv("MAPRAT_VET_CACHE_DIR"); env != "" {
+		return env, nil
+	}
+	base, err := os.UserCacheDir()
+	if err != nil {
+		return "", fmt.Errorf("resolving user cache dir: %w", err)
+	}
+	return filepath.Join(base, "maprat-vet"), nil
+}
+
+// cache is the per-package findings store. Entries are one JSON file per
+// key; the key hashes everything a package's findings can depend on, so
+// entries never need explicit invalidation — a stale key is simply never
+// looked up again.
+type cache struct {
+	dir string
+	// expHash memoizes export-data file hashes across packages: the std
+	// library's export files are deps of nearly every target.
+	expHash map[string]string
+}
+
+func openCache(dir string) *cache {
+	return &cache{dir: dir, expHash: map[string]string{}}
+}
+
+// entry is the stored result for one (package, analyzer set, sources,
+// dependency exports) state.
+type entry struct {
+	Schema     string       `json:"schema"`
+	ImportPath string       `json:"import_path"`
+	Diags      []Diagnostic `json:"diags"`
+}
+
+// key derives the cache key for one target package. It covers:
+//   - the entry schema and the Go toolchain version,
+//   - the analyzer set with per-analyzer versions (AnalyzerSetHash),
+//   - the package's import path and directory (finding positions are
+//     absolute paths, so a moved checkout must miss),
+//   - every source file's name and content,
+//   - every dependency's export data (content-hashed, memoized) — a
+//     changed dependency API re-analyzes the dependents, an untouched
+//     one does not.
+func (c *cache) key(t listedPkg, src map[string][]byte, exports map[string]string, setHash string) (string, error) {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\n%s\n%s\n%s\n%s\n", cacheSchema, runtime.Version(), setHash, t.ImportPath, t.Dir)
+	for _, name := range t.GoFiles {
+		b := src[filepath.Join(t.Dir, name)]
+		fmt.Fprintf(h, "file %s %d\n", name, len(b))
+		h.Write(b)
+	}
+	deps := append([]string(nil), t.Deps...)
+	sort.Strings(deps)
+	for _, d := range deps {
+		exp, ok := exports[d]
+		if !ok {
+			continue // no export data (e.g. unsafe); nothing to hash
+		}
+		eh, err := c.exportHash(exp)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(h, "dep %s %s\n", d, eh)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+func (c *cache) exportHash(path string) (string, error) {
+	if h, ok := c.expHash[path]; ok {
+		return h, nil
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return "", fmt.Errorf("reading export data %s: %w", path, err)
+	}
+	sum := sha256.Sum256(b)
+	h := hex.EncodeToString(sum[:])
+	c.expHash[path] = h
+	return h, nil
+}
+
+// get returns the cached diagnostics for key, or ok=false on any miss —
+// absent entry, unreadable file, or schema drift. Cache read failures
+// are never errors: the package is simply re-analyzed.
+func (c *cache) get(key string) ([]Diagnostic, bool) {
+	b, err := os.ReadFile(filepath.Join(c.dir, key+".json"))
+	if err != nil {
+		return nil, false
+	}
+	var e entry
+	if err := json.Unmarshal(b, &e); err != nil || e.Schema != cacheSchema {
+		return nil, false
+	}
+	return e.Diags, true
+}
+
+// put stores diagnostics under key. Writes go through a temp file +
+// rename so a concurrent reader never sees a torn entry; write failures
+// are returned but callers treat the cache as best-effort.
+func (c *cache) put(key, importPath string, diags []Diagnostic) error {
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return err
+	}
+	if diags == nil {
+		diags = []Diagnostic{}
+	}
+	b, err := json.Marshal(entry{Schema: cacheSchema, ImportPath: importPath, Diags: diags})
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(c.dir, "entry-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), filepath.Join(c.dir, key+".json"))
+}
+
+// AnalyzerSetHash fingerprints an analyzer selection: names and versions
+// in canonical order, plus the suppression auditor (which always runs).
+// It keys both the result cache and CI's actions/cache entry.
+func AnalyzerSetHash(analyzers []*Analyzer) string {
+	names := make([]string, 0, len(analyzers))
+	for _, a := range analyzers {
+		v := a.Version
+		if v == "" {
+			v = "1"
+		}
+		names = append(names, a.Name+"@"+v)
+	}
+	sort.Strings(names)
+	h := sha256.New()
+	fmt.Fprintf(h, "suppress@%s\n", suppressVersion)
+	for _, n := range names {
+		fmt.Fprintln(h, n)
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}

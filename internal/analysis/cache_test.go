@@ -1,0 +1,122 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/analysis"
+)
+
+// TestCacheWarmRun pins the incremental cache's contract: a warm run
+// over an unchanged tree re-analyzes zero packages (mtime-only touches
+// included — keys hash contents, not stats) and reports byte-identical
+// findings; a content change re-analyzes exactly the changed package.
+func TestCacheWarmRun(t *testing.T) {
+	work := t.TempDir()
+	copyTree(t, "testdata/mergeorder", work)
+	opts := analysis.Options{
+		Analyzers: analysis.All(),
+		Cache:     true,
+		CacheDir:  t.TempDir(),
+	}
+
+	cold, err := analysis.RunWithOptions(work, opts, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Packages == 0 || cold.Analyzed != cold.Packages || cold.Cached != 0 {
+		t.Fatalf("cold run: packages=%d analyzed=%d cached=%d, want all analyzed",
+			cold.Packages, cold.Analyzed, cold.Cached)
+	}
+	if len(cold.Diags) == 0 {
+		t.Fatal("fixture should produce findings")
+	}
+
+	// An mtime-only touch must not invalidate anything.
+	touched := filepath.Join(work, "internal", "shard", "fixture.go")
+	now := time.Now()
+	if err := os.Chtimes(touched, now, now); err != nil {
+		t.Fatal(err)
+	}
+
+	warm, err := analysis.RunWithOptions(work, opts, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Analyzed != 0 || warm.Cached != warm.Packages {
+		t.Fatalf("warm run: packages=%d analyzed=%d cached=%d, want 0 re-analyzed",
+			warm.Packages, warm.Analyzed, warm.Cached)
+	}
+	if !reflect.DeepEqual(cold.Diags, warm.Diags) {
+		t.Errorf("warm findings differ from cold:\ncold: %v\nwarm: %v", cold.Diags, warm.Diags)
+	}
+
+	// A content change re-analyzes exactly the changed package.
+	changed := filepath.Join(work, "internal", "other", "ok.go")
+	b, err := os.ReadFile(changed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(changed, append(b, []byte("\n// touched\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	third, err := analysis.RunWithOptions(work, opts, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.Analyzed != 1 || third.Cached != third.Packages-1 {
+		t.Fatalf("after content change: packages=%d analyzed=%d cached=%d, want exactly 1 re-analyzed",
+			third.Packages, third.Analyzed, third.Cached)
+	}
+	if !reflect.DeepEqual(cold.Diags, third.Diags) {
+		t.Errorf("findings changed after a comment-only edit:\ncold: %v\nthird: %v", cold.Diags, third.Diags)
+	}
+}
+
+// TestAnalyzerSetHash pins that the cache key component tracks both the
+// set membership and each analyzer's version.
+func TestAnalyzerSetHash(t *testing.T) {
+	all := analysis.AnalyzerSetHash(analysis.All())
+	if len(all) != 32 {
+		t.Fatalf("hash length = %d, want 32 hex chars", len(all))
+	}
+	if analysis.AnalyzerSetHash(analysis.All()) != all {
+		t.Error("hash is not deterministic")
+	}
+	subset := analysis.AnalyzerSetHash([]*analysis.Analyzer{analysis.Lockcheck})
+	if subset == all {
+		t.Error("subset hash should differ from full-set hash")
+	}
+	bumped := &analysis.Analyzer{Name: analysis.Lockcheck.Name, Version: "test-bump", Run: analysis.Lockcheck.Run}
+	if analysis.AnalyzerSetHash([]*analysis.Analyzer{bumped}) == subset {
+		t.Error("version bump should change the hash")
+	}
+}
+
+func copyTree(t *testing.T, src, dst string) {
+	t.Helper()
+	err := filepath.Walk(src, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if info.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, b, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,252 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ApplyFixes applies the first suggested fix of every diagnostic to the
+// given sources (absolute path → file bytes) and returns the new content
+// of every file at least one edit touched. Fixes whose edits overlap an
+// already-accepted edit are skipped rather than half-applied; skipped
+// counts them. Edits with out-of-range offsets are an error — they mean
+// a stale cache entry or an analyzer bug, not a user mistake.
+func ApplyFixes(diags []Diagnostic, src map[string][]byte) (fixed map[string][]byte, applied, skipped int, err error) {
+	type edit struct {
+		TextEdit
+		fixID int // edits of one fix commit or skip together
+	}
+	perFile := map[string][]edit{}
+	fixID := 0
+	for _, d := range diags {
+		if len(d.SuggestedFixes) == 0 {
+			continue
+		}
+		fix := d.SuggestedFixes[0]
+		for _, e := range fix.Edits {
+			b, have := src[e.File]
+			if !have {
+				return nil, 0, 0, fmt.Errorf("fix for %s:%d edits unloaded file %s", d.File, d.Line, e.File)
+			}
+			if e.Start < 0 || e.End < e.Start || e.End > len(b) {
+				return nil, 0, 0, fmt.Errorf("fix for %s:%d has edit range [%d,%d) outside file %s (%d bytes)", d.File, d.Line, e.Start, e.End, e.File, len(b))
+			}
+		}
+		for _, e := range fix.Edits {
+			perFile[e.File] = append(perFile[e.File], edit{e, fixID})
+		}
+		fixID++
+	}
+	if fixID == 0 {
+		return map[string][]byte{}, 0, 0, nil
+	}
+
+	// Decide which fixes survive: walk each file's edits in offset order
+	// and veto any fix that overlaps an earlier-accepted edit. A vetoed
+	// fix is vetoed everywhere (all its edits drop).
+	vetoed := map[int]bool{}
+	files := make([]string, 0, len(perFile))
+	for f := range perFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, f := range files {
+		es := perFile[f]
+		sort.SliceStable(es, func(i, j int) bool {
+			if es[i].Start != es[j].Start {
+				return es[i].Start < es[j].Start
+			}
+			return es[i].End < es[j].End
+		})
+		prevEnd := -1
+		prevFix := -1
+		for _, e := range es {
+			if vetoed[e.fixID] {
+				continue
+			}
+			if e.Start < prevEnd && e.fixID != prevFix {
+				vetoed[e.fixID] = true
+				continue
+			}
+			if e.End > prevEnd {
+				prevEnd = e.End
+			}
+			prevFix = e.fixID
+		}
+	}
+	skipped = len(vetoed)
+	applied = fixID - skipped
+
+	fixed = map[string][]byte{}
+	for _, f := range files {
+		var es []edit
+		for _, e := range perFile[f] {
+			if !vetoed[e.fixID] {
+				es = append(es, e)
+			}
+		}
+		if len(es) == 0 {
+			continue
+		}
+		sort.SliceStable(es, func(i, j int) bool { return es[i].Start < es[j].Start })
+		b := src[f]
+		var out []byte
+		last := 0
+		for i, e := range es {
+			// Identical edits from different fixes (e.g. two findings both
+			// adding the same import) apply once.
+			if i > 0 && e.TextEdit == es[i-1].TextEdit {
+				continue
+			}
+			out = append(out, b[last:e.Start]...)
+			out = append(out, e.New...)
+			last = e.End
+		}
+		out = append(out, b[last:]...)
+		fixed[f] = out
+	}
+	return fixed, applied, skipped, nil
+}
+
+// UnifiedDiff renders a unified diff (3 context lines) between a and b,
+// labeled a/name and b/name. Empty when the contents are identical.
+func UnifiedDiff(name string, a, b []byte) string {
+	if string(a) == string(b) {
+		return ""
+	}
+	al := splitLines(a)
+	bl := splitLines(b)
+	ops := diffLines(al, bl)
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "--- a/%s\n+++ b/%s\n", name, name)
+
+	const ctx = 3
+	i := 0
+	for i < len(ops) {
+		// Skip runs of equal lines to the next change.
+		for i < len(ops) && ops[i].kind == opEq {
+			i++
+		}
+		if i == len(ops) {
+			break
+		}
+		// Hunk start: back up for leading context.
+		start := i - ctx
+		if start < 0 {
+			start = 0
+		}
+		// Extend to cover changes separated by ≤ 2*ctx equal lines.
+		end := i
+		run := 0
+		for j := i; j < len(ops); j++ {
+			if ops[j].kind == opEq {
+				run++
+				if run > 2*ctx {
+					break
+				}
+			} else {
+				run = 0
+				end = j + 1
+			}
+		}
+		stop := end + ctx
+		if stop > len(ops) {
+			stop = len(ops)
+		}
+
+		aStart, bStart := ops[start].aLine, ops[start].bLine
+		var aCount, bCount int
+		var body strings.Builder
+		for _, op := range ops[start:stop] {
+			switch op.kind {
+			case opEq:
+				body.WriteString(" " + op.text + "\n")
+				aCount++
+				bCount++
+			case opDel:
+				body.WriteString("-" + op.text + "\n")
+				aCount++
+			case opAdd:
+				body.WriteString("+" + op.text + "\n")
+				bCount++
+			}
+		}
+		fmt.Fprintf(&sb, "@@ -%d,%d +%d,%d @@\n", aStart+1, aCount, bStart+1, bCount)
+		sb.WriteString(body.String())
+		i = stop
+	}
+	return sb.String()
+}
+
+type diffOpKind int
+
+const (
+	opEq diffOpKind = iota
+	opDel
+	opAdd
+)
+
+type diffOp struct {
+	kind         diffOpKind
+	text         string
+	aLine, bLine int // 0-based line numbers at which this op sits
+}
+
+// splitLines splits without losing a missing trailing newline (the last
+// line is a line either way; the diff is line-oriented, not byte-exact,
+// which is fine for gofmt'd Go source that always ends in a newline).
+func splitLines(b []byte) []string {
+	s := string(b)
+	s = strings.TrimSuffix(s, "\n")
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, "\n")
+}
+
+// diffLines computes an edit script via longest-common-subsequence DP —
+// quadratic, which is fine at source-file scale.
+func diffLines(a, b []string) []diffOp {
+	n, m := len(a), len(b)
+	// lcs[i][j] = LCS length of a[i:], b[j:].
+	lcs := make([][]int, n+1)
+	for i := range lcs {
+		lcs[i] = make([]int, m+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := m - 1; j >= 0; j-- {
+			if a[i] == b[j] {
+				lcs[i][j] = lcs[i+1][j+1] + 1
+			} else if lcs[i+1][j] >= lcs[i][j+1] {
+				lcs[i][j] = lcs[i+1][j]
+			} else {
+				lcs[i][j] = lcs[i][j+1]
+			}
+		}
+	}
+	var ops []diffOp
+	i, j := 0, 0
+	for i < n && j < m {
+		switch {
+		case a[i] == b[j]:
+			ops = append(ops, diffOp{opEq, a[i], i, j})
+			i++
+			j++
+		case lcs[i+1][j] >= lcs[i][j+1]:
+			ops = append(ops, diffOp{opDel, a[i], i, j})
+			i++
+		default:
+			ops = append(ops, diffOp{opAdd, b[j], i, j})
+			j++
+		}
+	}
+	for ; i < n; i++ {
+		ops = append(ops, diffOp{opDel, a[i], i, j})
+	}
+	for ; j < m; j++ {
+		ops = append(ops, diffOp{opAdd, b[j], i, j})
+	}
+	return ops
+}

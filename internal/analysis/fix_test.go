@@ -1,0 +1,123 @@
+package analysis_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestApplyFixesGolden runs errflow over the fixgolden fixture, applies
+// every suggested fix, and byte-compares the result against the checked
+// in .golden files — the end-to-end contract of `maprat-vet -fix`.
+func TestApplyFixesGolden(t *testing.T) {
+	res, err := analysis.RunWithOptions("testdata/fixgolden",
+		analysis.Options{Analyzers: []*analysis.Analyzer{analysis.Errflow}}, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Diags) == 0 {
+		t.Fatal("fixture produced no findings")
+	}
+	for _, d := range res.Diags {
+		if len(d.SuggestedFixes) == 0 {
+			t.Errorf("finding without a fix: %s", d)
+		}
+	}
+
+	fixed, applied, skipped, err := analysis.ApplyFixes(res.Diags, res.Sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Errorf("skipped = %d, want 0", skipped)
+	}
+	if applied != len(res.Diags) {
+		t.Errorf("applied = %d, want %d", applied, len(res.Diags))
+	}
+	if len(fixed) == 0 {
+		t.Fatal("no files changed")
+	}
+	for file, got := range fixed {
+		want, err := os.ReadFile(file + ".golden")
+		if err != nil {
+			t.Fatalf("missing golden for %s: %v", file, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: fixed output differs from golden:\n%s",
+				filepath.Base(file), analysis.UnifiedDiff(filepath.Base(file)+".golden", want, got))
+		}
+	}
+}
+
+func TestApplyFixesOverlapAndDedup(t *testing.T) {
+	src := map[string][]byte{"f.go": []byte("aaaa bbbb cccc")}
+	diag := func(edits ...analysis.TextEdit) analysis.Diagnostic {
+		return analysis.Diagnostic{
+			File: "f.go", Line: 1,
+			SuggestedFixes: []analysis.SuggestedFix{{Edits: edits}},
+		}
+	}
+
+	t.Run("overlap vetoes the later fix entirely", func(t *testing.T) {
+		fixed, applied, skipped, err := analysis.ApplyFixes([]analysis.Diagnostic{
+			diag(analysis.TextEdit{File: "f.go", Start: 0, End: 4, New: "XX"}),
+			// Overlaps the first edit, and carries a second edit that must
+			// not be half-applied.
+			diag(analysis.TextEdit{File: "f.go", Start: 2, End: 6, New: "YY"},
+				analysis.TextEdit{File: "f.go", Start: 10, End: 14, New: "ZZ"}),
+		}, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if applied != 1 || skipped != 1 {
+			t.Fatalf("applied=%d skipped=%d, want 1/1", applied, skipped)
+		}
+		if got := string(fixed["f.go"]); got != "XX bbbb cccc" {
+			t.Fatalf("got %q", got)
+		}
+	})
+
+	t.Run("identical edits from two fixes apply once", func(t *testing.T) {
+		ins := analysis.TextEdit{File: "f.go", Start: 0, End: 0, New: "import\n"}
+		fixed, applied, skipped, err := analysis.ApplyFixes([]analysis.Diagnostic{
+			diag(ins, analysis.TextEdit{File: "f.go", Start: 0, End: 4, New: "X"}),
+			diag(ins, analysis.TextEdit{File: "f.go", Start: 5, End: 9, New: "Y"}),
+		}, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if applied != 2 || skipped != 0 {
+			t.Fatalf("applied=%d skipped=%d, want 2/0", applied, skipped)
+		}
+		if got := string(fixed["f.go"]); got != "import\nX Y cccc" {
+			t.Fatalf("got %q", got)
+		}
+	})
+
+	t.Run("out-of-range edit is an error", func(t *testing.T) {
+		_, _, _, err := analysis.ApplyFixes([]analysis.Diagnostic{
+			diag(analysis.TextEdit{File: "f.go", Start: 10, End: 99, New: "X"}),
+		}, src)
+		if err == nil {
+			t.Fatal("want error for out-of-range edit")
+		}
+	})
+}
+
+func TestUnifiedDiff(t *testing.T) {
+	a := []byte("one\ntwo\nthree\nfour\nfive\nsix\nseven\n")
+	b := []byte("one\ntwo\nTHREE\nfour\nfive\nsix\nseven\n")
+	d := analysis.UnifiedDiff("x.go", a, b)
+	for _, want := range []string{"--- a/x.go", "+++ b/x.go", "-three", "+THREE", "@@"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("diff missing %q:\n%s", want, d)
+		}
+	}
+	if analysis.UnifiedDiff("x.go", a, a) != "" {
+		t.Error("identical inputs must produce an empty diff")
+	}
+}

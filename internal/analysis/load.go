@@ -3,6 +3,7 @@ package analysis
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"go/ast"
 	"go/importer"
@@ -39,19 +40,28 @@ type listedPkg struct {
 	Dir        string
 	GoFiles    []string
 	Export     string
+	Deps       []string
 	Standard   bool
 	DepOnly    bool
 	Error      *struct{ Err string }
 }
 
-// Load resolves patterns (e.g. "./...") relative to dir into fully
-// type-checked packages. It shells out to `go list -json -export -deps`,
-// so the build cache supplies export data for every dependency — std and
-// in-module alike — and each target package is then parsed and checked
-// from source. Test files are not loaded: the invariants the suite
-// enforces are production-code invariants, and every exemption the
-// analyzers would grant tests falls out of that scope for free.
-func Load(dir string, patterns ...string) ([]*Package, error) {
+// listing is the resolved module graph for one go-list invocation: the
+// target packages plus export data for every dependency.
+type listing struct {
+	targets []listedPkg
+	exports map[string]string // import path -> export data file
+	fset    *token.FileSet
+	imp     types.Importer
+}
+
+// golist resolves patterns (e.g. "./...") relative to dir via
+// `go list -json -export -deps`, so the build cache supplies export data
+// for every dependency — std and in-module alike. Test files are not
+// listed: the invariants the suite enforces are production-code
+// invariants, and every exemption the analyzers would grant tests falls
+// out of that scope for free.
+func golist(dir string, patterns ...string) (*listing, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -62,46 +72,58 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	cmd.Stderr = &stderr
 	out, err := cmd.Output()
 	if err != nil {
-		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+		return nil, fmt.Errorf("go list %s: %w\n%s", strings.Join(patterns, " "), err, stderr.String())
 	}
 
-	exports := map[string]string{}
-	var targets []listedPkg
+	l := &listing{exports: map[string]string{}}
 	dec := json.NewDecoder(bytes.NewReader(out))
 	for {
 		var p listedPkg
-		if err := dec.Decode(&p); err == io.EOF {
+		if err := dec.Decode(&p); errors.Is(err, io.EOF) {
 			break
 		} else if err != nil {
-			return nil, fmt.Errorf("decoding go list output: %v", err)
+			return nil, fmt.Errorf("decoding go list output: %w", err)
 		}
 		if p.Error != nil {
 			return nil, fmt.Errorf("package %s: %s", p.ImportPath, p.Error.Err)
 		}
 		if p.Export != "" {
-			exports[p.ImportPath] = p.Export
+			l.exports[p.ImportPath] = p.Export
 		}
 		if !p.DepOnly {
-			targets = append(targets, p)
+			l.targets = append(l.targets, p)
 		}
 	}
-	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+	sort.Slice(l.targets, func(i, j int) bool { return l.targets[i].ImportPath < l.targets[j].ImportPath })
 
-	fset := token.NewFileSet()
-	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
-		f, ok := exports[path]
+	l.fset = token.NewFileSet()
+	l.imp = importer.ForCompiler(l.fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := l.exports[path]
 		if !ok {
 			return nil, fmt.Errorf("no export data for %q", path)
 		}
 		return os.Open(f)
 	})
+	return l, nil
+}
 
+// Load resolves patterns relative to dir into fully type-checked
+// packages.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	l, err := golist(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
 	var pkgs []*Package
-	for _, t := range targets {
+	for _, t := range l.targets {
 		if len(t.GoFiles) == 0 {
 			continue
 		}
-		pkg, err := checkPackage(fset, imp, t)
+		src, err := readSources(t)
+		if err != nil {
+			return nil, err
+		}
+		pkg, err := l.checkPackage(t, src)
 		if err != nil {
 			return nil, err
 		}
@@ -110,10 +132,9 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	return pkgs, nil
 }
 
-// checkPackage parses and type-checks one target package from source.
-func checkPackage(fset *token.FileSet, imp types.Importer, t listedPkg) (*Package, error) {
-	files := make([]*ast.File, 0, len(t.GoFiles))
-	paths := make([]string, 0, len(t.GoFiles))
+// readSources reads the package's non-test compiled Go files, keyed by
+// absolute path.
+func readSources(t listedPkg) (map[string][]byte, error) {
 	src := make(map[string][]byte, len(t.GoFiles))
 	for _, name := range t.GoFiles {
 		path := filepath.Join(t.Dir, name)
@@ -121,13 +142,24 @@ func checkPackage(fset *token.FileSet, imp types.Importer, t listedPkg) (*Packag
 		if err != nil {
 			return nil, err
 		}
-		f, err := parser.ParseFile(fset, path, b, parser.ParseComments|parser.SkipObjectResolution)
+		src[path] = b
+	}
+	return src, nil
+}
+
+// checkPackage parses and type-checks one target package from the
+// already-read sources.
+func (l *listing) checkPackage(t listedPkg, src map[string][]byte) (*Package, error) {
+	files := make([]*ast.File, 0, len(t.GoFiles))
+	paths := make([]string, 0, len(t.GoFiles))
+	for _, name := range t.GoFiles {
+		path := filepath.Join(t.Dir, name)
+		f, err := parser.ParseFile(l.fset, path, src[path], parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
-			return nil, fmt.Errorf("parsing %s: %v", path, err)
+			return nil, fmt.Errorf("parsing %s: %w", path, err)
 		}
 		files = append(files, f)
 		paths = append(paths, path)
-		src[path] = b
 	}
 
 	info := &types.Info{
@@ -138,15 +170,15 @@ func checkPackage(fset *token.FileSet, imp types.Importer, t listedPkg) (*Packag
 		Implicits:  map[ast.Node]types.Object{},
 		Scopes:     map[ast.Node]*types.Scope{},
 	}
-	conf := types.Config{Importer: imp}
-	tpkg, err := conf.Check(t.ImportPath, fset, files, info)
+	conf := types.Config{Importer: l.imp}
+	tpkg, err := conf.Check(t.ImportPath, l.fset, files, info)
 	if err != nil {
-		return nil, fmt.Errorf("type-checking %s: %v", t.ImportPath, err)
+		return nil, fmt.Errorf("type-checking %s: %w", t.ImportPath, err)
 	}
 	return &Package{
 		ImportPath: t.ImportPath,
 		Dir:        t.Dir,
-		Fset:       fset,
+		Fset:       l.fset,
 		Files:      files,
 		GoFiles:    paths,
 		Types:      tpkg,

@@ -4,15 +4,65 @@ import (
 	"fmt"
 )
 
+// Options parameterize a suite run.
+type Options struct {
+	// Analyzers is the set to run (required).
+	Analyzers []*Analyzer
+	// Cache enables the incremental per-package result cache; CacheDir
+	// overrides its location (default DefaultCacheDir()).
+	Cache    bool
+	CacheDir string
+}
+
+// Result is a completed suite run.
+type Result struct {
+	// Diags are the surviving findings, sorted by position.
+	Diags []Diagnostic
+	// Packages is the number of target packages; Analyzed of them were
+	// parsed, type-checked and analyzed this run, Cached were served from
+	// the incremental cache.
+	Packages, Analyzed, Cached int
+	// Sources maps every loaded target file (absolute path) to its
+	// content — the input ApplyFixes and the -diff/-fix paths work from.
+	Sources map[string][]byte
+}
+
 // Run loads patterns relative to dir, runs every analyzer over every
 // loaded package, applies //maprat:allow suppressions, and returns the
 // surviving findings sorted by position. The returned slice is empty for
-// a clean tree.
+// a clean tree. Run never touches the incremental cache; maprat-vet
+// enables it through RunWithOptions.
 func Run(dir string, analyzers []*Analyzer, patterns ...string) ([]Diagnostic, error) {
-	pkgs, err := Load(dir, patterns...)
+	res, err := RunWithOptions(dir, Options{Analyzers: analyzers}, patterns...)
 	if err != nil {
 		return nil, err
 	}
+	return res.Diags, nil
+}
+
+// RunWithOptions is Run with the incremental cache and per-run stats.
+// With opts.Cache set, each package's findings are keyed by a hash of
+// its sources, its dependencies' export data and the analyzer
+// set/versions; a warm run over an unchanged tree re-analyzes nothing.
+func RunWithOptions(dir string, opts Options, patterns ...string) (*Result, error) {
+	l, err := golist(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+
+	var store *cache
+	if opts.Cache {
+		cdir := opts.CacheDir
+		if cdir == "" {
+			cdir, err = DefaultCacheDir()
+			if err != nil {
+				return nil, err
+			}
+		}
+		store = openCache(cdir)
+	}
+	setHash := AnalyzerSetHash(opts.Analyzers)
+
 	// Directive names validate against the whole suite, not just the
 	// analyzers in this run: a //maprat:allow(ctxflow) is legitimate even
 	// when only determinism is being re-run.
@@ -20,19 +70,55 @@ func Run(dir string, analyzers []*Analyzer, patterns ...string) ([]Diagnostic, e
 	for _, a := range All() {
 		known[a.Name] = true
 	}
-	for _, a := range analyzers {
+	for _, a := range opts.Analyzers {
 		known[a.Name] = true
 	}
-	var all []Diagnostic
-	for _, pkg := range pkgs {
-		diags, err := runPackage(pkg, analyzers, known)
+
+	res := &Result{Sources: map[string][]byte{}}
+	for _, t := range l.targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		res.Packages++
+		src, err := readSources(t)
 		if err != nil {
 			return nil, err
 		}
-		all = append(all, diags...)
+		for p, b := range src {
+			res.Sources[p] = b
+		}
+
+		var key string
+		if store != nil {
+			key, err = store.key(t, src, l.exports, setHash)
+			if err != nil {
+				return nil, err
+			}
+			if diags, ok := store.get(key); ok {
+				res.Cached++
+				res.Diags = append(res.Diags, diags...)
+				continue
+			}
+		}
+
+		pkg, err := l.checkPackage(t, src)
+		if err != nil {
+			return nil, err
+		}
+		diags, err := runPackage(pkg, opts.Analyzers, known)
+		if err != nil {
+			return nil, err
+		}
+		res.Analyzed++
+		if store != nil {
+			// Best-effort: a failed write costs the next run a re-analysis,
+			// nothing more.
+			_ = store.put(key, t.ImportPath, diags)
+		}
+		res.Diags = append(res.Diags, diags...)
 	}
-	sortDiagnostics(all)
-	return all, nil
+	sortDiagnostics(res.Diags)
+	return res, nil
 }
 
 // runPackage runs the analyzers over one package and resolves its
@@ -50,7 +136,7 @@ func runPackage(pkg *Package, analyzers []*Analyzer, known map[string]bool) ([]D
 			diags:    &diags,
 		}
 		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("analyzer %s on %s: %v", a.Name, pkg.ImportPath, err)
+			return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.ImportPath, err)
 		}
 	}
 	dirs := parseDirectives(pkg)

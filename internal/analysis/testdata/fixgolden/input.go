@@ -1,0 +1,24 @@
+package fixgolden
+
+import (
+	"fmt"
+	"os"
+)
+
+var ErrStale = os.ErrDeadlineExceeded
+
+func check(err error) bool {
+	return err == ErrStale
+}
+
+func reject(err error) bool {
+	return err != ErrStale
+}
+
+func wrap(err error) error {
+	return fmt.Errorf("load: %v", err)
+}
+
+func wrapBoth(path string, err error) error {
+	return fmt.Errorf("open %s: %s", path, err)
+}

@@ -1,0 +1,90 @@
+package cube
+
+import (
+	"fmt"
+	"sort"
+)
+
+// --- per-iteration allocations -------------------------------------------
+
+func sprintfInLoop(xs []int) []string {
+	out := make([]string, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, fmt.Sprintf("%d", x)) // want `fmt\.Sprintf inside a hot-kernel loop allocates a string per iteration`
+	}
+	return out
+}
+
+func concatInLoop(xs []string) string {
+	s := ""
+	for _, x := range xs {
+		s += x // want `string concatenation inside a hot-kernel loop reallocates the whole string each iteration`
+	}
+	return s
+}
+
+func unsizedAppend(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x*x) // want `append into "out" grows from zero capacity inside a hot-kernel loop`
+	}
+	return out
+}
+
+func emptyLiteralAppend(xs []int) []int {
+	out := []int{}
+	for _, x := range xs {
+		out = append(out, x) // want `append into "out" grows from zero capacity inside a hot-kernel loop`
+	}
+	return out
+}
+
+func closureInLoop(groups [][]int) {
+	total := 0
+	for _, g := range groups {
+		sort.Slice(g, func(i, j int) bool { // want `capturing closure created inside a loop: one allocation per iteration`
+			total++
+			return g[i] < g[j]
+		})
+	}
+	_ = total
+}
+
+// --- clean patterns ------------------------------------------------------
+
+func presized(xs []int) []int {
+	out := make([]int, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, x*x) // ok: capacity set up front
+	}
+	return out
+}
+
+func declaredInsideLoop(xs [][]int) int {
+	n := 0
+	for _, row := range xs {
+		var tmp []int
+		tmp = append(tmp, row...) // ok: born this iteration, not loop-grown
+		n += len(tmp)
+	}
+	return n
+}
+
+func nonCapturingClosure(xs []int) {
+	for range xs {
+		f := func(a, b int) int { return a + b } // ok: captures nothing, shared static value
+		_ = f
+	}
+}
+
+func invokedClosure(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		func() { total += x }() // ok: immediately invoked, does not escape
+	}
+	return total
+}
+
+func sprintfOutsideLoop(n int) string {
+	return fmt.Sprintf("n=%d", n) // ok: not in a loop
+}

@@ -1,0 +1,13 @@
+// Package other is outside hotalloc's scope: allocations here are not
+// on the kernel profile.
+package other
+
+import "fmt"
+
+func sprintfInLoop(xs []int) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, fmt.Sprintf("%d", x)) // ok: not a hot package
+	}
+	return out
+}

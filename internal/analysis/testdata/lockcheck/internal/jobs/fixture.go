@@ -1,0 +1,180 @@
+package jobs
+
+import (
+	"os"
+	"sync"
+	"time"
+
+	"fixture/pkg/client"
+)
+
+type manager struct {
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	queue chan int
+	wg    sync.WaitGroup
+}
+
+// --- blocking while held -------------------------------------------------
+
+func (m *manager) sendWhileHeld(v int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.queue <- v // want `channel send while holding m\.mu \(locked at line \d+\)`
+}
+
+func (m *manager) recvWhileHeld() int {
+	m.mu.Lock()
+	v := <-m.queue // want `channel receive while holding m\.mu`
+	m.mu.Unlock()
+	return v
+}
+
+func (m *manager) selectWhileHeld(done chan struct{}) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	select { // want `select without default while holding m\.mu`
+	case <-done:
+	case m.queue <- 1:
+	}
+}
+
+func (m *manager) rpcWhileHeld() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return client.Call() // want `pkg/client RPC Call while holding m\.mu`
+}
+
+func (m *manager) waitWhileHeld() {
+	m.mu.Lock()
+	m.wg.Wait() // want `sync\.WaitGroup\.Wait while holding m\.mu`
+	m.mu.Unlock()
+}
+
+func (m *manager) sleepWhileHeld() {
+	m.mu.Lock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep while holding m\.mu`
+	m.mu.Unlock()
+}
+
+func (m *manager) ioWhileHeld() ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return os.ReadFile("x") // want `os\.ReadFile while holding m\.mu`
+}
+
+func (m *manager) readLockWhileHeld() int {
+	m.rw.RLock()
+	v := <-m.queue // want `channel receive while holding m\.rw \[read\]`
+	m.rw.RUnlock()
+	return v
+}
+
+func (m *manager) rangeChanWhileHeld() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	total := 0
+	for v := range m.queue { // want `range over channel while holding m\.mu`
+		total += v
+	}
+	return total
+}
+
+// --- pairing and double unlock -------------------------------------------
+
+func (m *manager) leakOnEarlyReturn(fail bool) error {
+	m.mu.Lock()
+	if fail {
+		return errLeak // want `return while m\.mu is still locked \(Lock at line \d+\): missing Unlock on this path`
+	}
+	m.mu.Unlock()
+	return nil
+}
+
+func (m *manager) leakAtEnd() {
+	m.mu.Lock()
+	m.queue = make(chan int)
+} // want `return while m\.mu is still locked`
+
+func (m *manager) doubleUnlockWithDefer(fail bool) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if fail {
+		m.mu.Unlock() // want `m\.mu released here but a deferred Unlock \(line \d+\) fires again on return: double unlock`
+		return errLeak
+	}
+	return nil
+}
+
+func (m *manager) unlockAgainstDefer() {
+	defer m.mu.Unlock()
+	m.mu.Unlock() // want `explicit m\.mu\.Unlock with a deferred Unlock pending \(deferred at line \d+\): double unlock`
+}
+
+func (m *manager) selfDeadlock() {
+	m.mu.Lock()
+	m.mu.Lock() // want `m\.mu\.Lock while already held \(locked at line \d+\): self-deadlock`
+	m.mu.Unlock()
+}
+
+var errLeak = os.ErrInvalid
+
+// --- clean patterns ------------------------------------------------------
+
+func (m *manager) nonBlockingSend(v int) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	select { // ok: default makes the select non-blocking
+	case m.queue <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+func (m *manager) unlockBeforeBlocking() int {
+	m.mu.Lock()
+	q := m.queue
+	m.mu.Unlock()
+	return <-q // ok: released before blocking
+}
+
+func (m *manager) emptyCriticalSection() {
+	m.mu.Lock()
+	m.mu.Unlock()
+	// ok: the lock is a memory barrier here
+}
+
+func (m *manager) goroutineDoesNotInherit() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	go func() {
+		m.wg.Wait() // ok: runs outside the creator's critical section
+	}()
+}
+
+func (m *manager) releaseAndReacquire(fail bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if fail {
+		m.mu.Unlock()
+		m.wg.Wait() // ok: released across the wait
+		m.mu.Lock()
+	}
+}
+
+func (m *manager) branchesBalance(fast bool) {
+	m.mu.Lock()
+	if fast {
+		m.mu.Unlock()
+		return
+	}
+	m.queue = nil
+	m.mu.Unlock()
+}
+
+func (m *manager) readersPair() int {
+	m.rw.RLock()
+	defer m.rw.RUnlock()
+	return len(m.queue)
+}

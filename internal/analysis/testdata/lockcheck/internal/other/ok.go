@@ -1,0 +1,16 @@
+// Package other is outside lockcheck's scope: the same patterns that
+// fire in internal/jobs are ignored here.
+package other
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (b *box) sendWhileHeld(v int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.ch <- v // ok: not a lockcheck package
+}

@@ -1,0 +1,5 @@
+// Package client stands in for the real RPC client: every call in here
+// counts as a blocking remote operation to lockcheck.
+package client
+
+func Call() error { return nil }

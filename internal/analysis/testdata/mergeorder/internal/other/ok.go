@@ -1,0 +1,10 @@
+// Package other is outside mergeorder's scope.
+package other
+
+func leak(m map[string]int) []string {
+	var keys []string
+	for k := range m { // ok: not a mergeorder package
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -79,7 +79,9 @@ func binomial(n, k int) int {
 // against — fast, but blind to group interactions (especially DM's
 // pairwise structure).
 func (p *Problem) SolveGreedy() Solution {
-	var sel []int
+	// Presized to the minimum group count; greedy selections rarely run
+	// past it before the coverage constraint stops them.
+	sel := make([]int, 0, p.minGroups())
 	used := map[int]bool{}
 	evals := 0
 

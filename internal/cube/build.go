@@ -444,7 +444,7 @@ func buildCells(tuples []Tuple, cfg Config, free []Attr, lo, hi int) map[Key]*ce
 }
 
 func freeAttrs(cfg Config) []Attr {
-	var free []Attr
+	free := make([]Attr, 0, NumAttrs)
 	for a := 0; a < NumAttrs; a++ {
 		switch {
 		case cfg.RequireState && Attr(a) == State:

@@ -280,10 +280,10 @@ func ParseValue(a Attr, s string) (int16, error) {
 // String renders the descriptor as a compact conjunction, e.g.
 // "gender=male ∧ age=under 18 ∧ state=CA". The apex cell renders as "⟨all⟩".
 func (k Key) String() string {
-	var parts []string
+	parts := make([]string, 0, NumAttrs)
 	for a := 0; a < NumAttrs; a++ {
 		if k[a] != Wildcard {
-			parts = append(parts, fmt.Sprintf("%s=%s", Attr(a), ValueLabel(Attr(a), k[a])))
+			parts = append(parts, Attr(a).String()+"="+ValueLabel(Attr(a), k[a]))
 		}
 	}
 	if len(parts) == 0 {
@@ -335,10 +335,10 @@ func (k Key) Phrase() string {
 // accepts ("gender=male,age=under 18,state=NY") — the URL-safe encoding
 // the web front-end round-trips group identities through.
 func (k Key) Param() string {
-	var parts []string
+	parts := make([]string, 0, NumAttrs)
 	for a := 0; a < NumAttrs; a++ {
 		if k[a] != Wildcard {
-			parts = append(parts, fmt.Sprintf("%s=%s", Attr(a), ValueLabel(Attr(a), k[a])))
+			parts = append(parts, Attr(a).String()+"="+ValueLabel(Attr(a), k[a]))
 		}
 	}
 	return strings.Join(parts, ",")

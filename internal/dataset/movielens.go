@@ -50,7 +50,7 @@ func ParseUsers(r io.Reader) ([]model.User, error) {
 		}
 		gender, err := model.ParseGender(f[1])
 		if err != nil {
-			return nil, fmt.Errorf("dataset: users line %d: %v", sc.lineNo, err)
+			return nil, fmt.Errorf("dataset: users line %d: %w", sc.lineNo, err)
 		}
 		ageCode, err := strconv.Atoi(f[2])
 		if err != nil {
@@ -58,7 +58,7 @@ func ParseUsers(r io.Reader) ([]model.User, error) {
 		}
 		age, err := model.ParseAgeCode(ageCode)
 		if err != nil {
-			return nil, fmt.Errorf("dataset: users line %d: %v", sc.lineNo, err)
+			return nil, fmt.Errorf("dataset: users line %d: %w", sc.lineNo, err)
 		}
 		occCode, err := strconv.Atoi(f[3])
 		if err != nil {
@@ -66,7 +66,7 @@ func ParseUsers(r io.Reader) ([]model.User, error) {
 		}
 		occ, err := model.ParseOccupation(occCode)
 		if err != nil {
-			return nil, fmt.Errorf("dataset: users line %d: %v", sc.lineNo, err)
+			return nil, fmt.Errorf("dataset: users line %d: %w", sc.lineNo, err)
 		}
 		u := model.User{ID: id, Gender: gender, Age: age, Occupation: occ, Zip: zipBase(f[4])}
 		cube.ResolveUser(&u)
@@ -158,7 +158,7 @@ func ParseRatings(r io.Reader) ([]model.Rating, error) {
 		}
 		rt := model.Rating{UserID: vals[0], ItemID: vals[1], Score: vals[2], Unix: ts}
 		if err := rt.Validate(); err != nil {
-			return nil, fmt.Errorf("dataset: ratings line %d: %v", sc.lineNo, err)
+			return nil, fmt.Errorf("dataset: ratings line %d: %w", sc.lineNo, err)
 		}
 		ratings = append(ratings, rt)
 	}
