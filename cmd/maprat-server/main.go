@@ -55,6 +55,7 @@ func main() {
 		jobTTL     = flag.Duration("job-ttl", 0, "how long finished job results stay retrievable (0 = default)")
 		jobTimeout = flag.Duration("job-timeout", 0, "per-job mining timeout (0 = default)")
 		gzipOn     = flag.Bool("gzip", true, "offer gzip-compressed /api/v1 responses to clients that accept it")
+		walPath    = flag.String("wal", "", "arm live ingestion with a write-ahead log at this path (single-dataset servers only)")
 	)
 	var snapshots multiFlag
 	flag.Var(&snapshots, "snapshot", "mount a .msnap snapshot (repeatable; first mount is the default dataset)")
@@ -70,6 +71,22 @@ func main() {
 		log.Printf("dataset %q (%s) ready in %s: %d ratings, %d movies, %d reviewers, fingerprint %016x",
 			m.Name, m.Info.Source, m.Info.OpenDuration.Round(time.Millisecond),
 			st.Ratings, st.Items, st.Users, m.Engine.Fingerprint())
+	}
+	if *walPath != "" {
+		// Live ingestion writes to one store; mounting several datasets
+		// would leave "which one accepts writes" ambiguous.
+		if reg.Len() != 1 {
+			log.Fatalf("-wal requires exactly one mounted dataset (got %d)", reg.Len())
+		}
+		eng, ok := reg.Default().Engine.(*maprat.Engine)
+		if !ok {
+			log.Fatal("-wal requires a local engine mount")
+		}
+		epoch, err := eng.EnableIngest(*walPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("live ingestion armed: wal %s, epoch %d", *walPath, epoch)
 	}
 	log.Printf("listening on %s", *addr)
 

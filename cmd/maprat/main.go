@@ -72,6 +72,18 @@ func main() {
 	if *serverURL == "" && *async {
 		log.Fatal("-async requires -server")
 	}
+	// `maprat -server URL append <file.json>` posts a batch of new
+	// ratings; the file (or stdin via "-") holds a JSON array of
+	// {"user_id","item_id","score","unix"} objects.
+	if flag.NArg() > 0 && flag.Arg(0) == "append" {
+		if *serverURL == "" {
+			log.Fatal("append requires -server")
+		}
+		if err := runRemoteAppend(*serverURL, flag.Args()[1:]); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if *serverURL != "" {
 		o := remoteOpts{
 			op:    "explain",

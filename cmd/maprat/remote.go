@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"syscall"
@@ -70,6 +71,42 @@ func renderRemote(ctx context.Context, c *client.Client, o remoteOpts) error {
 		}
 		renderRemoteExplain(ex, o.color)
 	}
+	return nil
+}
+
+// runRemoteAppend posts one batch of new ratings from a JSON file (or
+// stdin via "-") and prints the epoch the server accepted it at.
+func runRemoteAppend(serverURL string, args []string) error {
+	if len(args) != 1 {
+		return errors.New("usage: maprat -server URL append <ratings.json | ->")
+	}
+	var (
+		raw []byte
+		err error
+	)
+	if args[0] == "-" {
+		raw, err = io.ReadAll(os.Stdin)
+	} else {
+		raw, err = os.ReadFile(args[0])
+	}
+	if err != nil {
+		return err
+	}
+	var ratings []client.RatingInput
+	if err := jsonUnmarshal(raw, &ratings); err != nil {
+		return fmt.Errorf("parse ratings: %w", err)
+	}
+	c, err := client.New(serverURL)
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	resp, err := c.AppendRatings(ctx, "", ratings)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("accepted %d ratings at epoch %d\n", resp.Accepted, resp.Epoch)
 	return nil
 }
 

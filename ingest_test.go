@@ -1,0 +1,420 @@
+package maprat
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/model"
+)
+
+var (
+	ingestDSOnce sync.Once
+	ingestDSMemo *Dataset
+)
+
+// ingestDataset memoizes one dataset for the ingest suite; engines over
+// it are opened per test because appends mutate engine state.
+func ingestDataset(t testing.TB) *Dataset {
+	t.Helper()
+	ingestDSOnce.Do(func() {
+		ds, err := Generate(SmallGenConfig())
+		if err != nil {
+			panic(err)
+		}
+		ingestDSMemo = ds
+	})
+	return ingestDSMemo
+}
+
+// ingestEngine opens a fresh engine with live ingestion armed on a
+// per-test WAL.
+func ingestEngine(t testing.TB) *Engine {
+	t.Helper()
+	e, err := Open(ingestDataset(t), nil)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	epoch, err := e.EnableIngest(filepath.Join(t.TempDir(), "ingest.wal"))
+	if err != nil {
+		t.Fatalf("EnableIngest: %v", err)
+	}
+	if epoch != 1 {
+		t.Fatalf("fresh WAL replayed to epoch %d, want 1", epoch)
+	}
+	return e
+}
+
+// ratingsFor builds n valid ratings for one item, timestamped just past
+// the log's maximum.
+func ratingsFor(t testing.TB, e *Engine, itemID, n int) []model.Rating {
+	t.Helper()
+	ds := ingestDataset(t)
+	_, maxUnix := e.TimeRange()
+	out := make([]model.Rating, n)
+	for i := range out {
+		out[i] = model.Rating{
+			UserID: ds.Users[i%len(ds.Users)].ID,
+			ItemID: itemID,
+			Score:  5,
+			Unix:   maxUnix + int64(i+1),
+		}
+	}
+	return out
+}
+
+func itemIDByTitle(t testing.TB, title string) int {
+	t.Helper()
+	items := ingestDataset(t).ItemsByTitle(title)
+	if len(items) == 0 {
+		t.Fatalf("fixture movie %q missing", title)
+	}
+	return items[0].ID
+}
+
+// explainJSON renders an explanation with the nondeterministic fields
+// (timing, cache provenance) zeroed, for byte-level comparison.
+func explainJSON(t testing.TB, ex *Explanation) []byte {
+	t.Helper()
+	c := ex.Clone()
+	c.Elapsed = 0
+	c.FromCache = false
+	b, err := json.Marshal(c)
+	if err != nil {
+		t.Fatalf("marshal explanation: %v", err)
+	}
+	return b
+}
+
+func TestAppendBumpsEpochAndFingerprint(t *testing.T) {
+	e := ingestEngine(t)
+	fp1 := e.Fingerprint()
+	if e.CurrentEpoch() != 1 {
+		t.Fatalf("fresh engine at epoch %d", e.CurrentEpoch())
+	}
+	epoch, err := e.AppendRatings(context.Background(), ratingsFor(t, e, itemIDByTitle(t, "Toy Story"), 3))
+	if err != nil {
+		t.Fatalf("AppendRatings: %v", err)
+	}
+	if epoch != 2 || e.CurrentEpoch() != 2 {
+		t.Fatalf("epoch = %d (engine %d), want 2", epoch, e.CurrentEpoch())
+	}
+	// The live fingerprint rolls; the pinned epoch-1 fingerprint is the
+	// pre-ingestion value, so previously issued pinned ETags stay valid.
+	if e.Fingerprint() == fp1 {
+		t.Fatal("append did not roll the fingerprint")
+	}
+	if e.FingerprintAt(1) != fp1 {
+		t.Fatal("pinned epoch-1 fingerprint changed across an append")
+	}
+	if e.FingerprintAt(2) != e.Fingerprint() {
+		t.Fatal("latest fingerprint is not the current epoch's")
+	}
+}
+
+func TestAppendValidation(t *testing.T) {
+	e := ingestEngine(t)
+	ctx := context.Background()
+	item := itemIDByTitle(t, "Toy Story")
+	good := ratingsFor(t, e, item, 1)
+
+	cases := []struct {
+		name string
+		mut  func(r model.Rating) model.Rating
+	}{
+		{"unknown user", func(r model.Rating) model.Rating { r.UserID = 99999999; return r }},
+		{"unknown item", func(r model.Rating) model.Rating { r.ItemID = 99999999; return r }},
+		{"score out of range", func(r model.Rating) model.Rating { r.Score = 9; return r }},
+		{"missing timestamp", func(r model.Rating) model.Rating { r.Unix = 0; return r }},
+	}
+	for _, tc := range cases {
+		if _, err := e.AppendRatings(ctx, []model.Rating{tc.mut(good[0])}); !errors.Is(err, ErrBadRating) {
+			t.Errorf("%s: err = %v, want ErrBadRating", tc.name, err)
+		}
+	}
+	if _, err := e.AppendRatings(ctx, nil); !errors.Is(err, ErrBadRating) {
+		t.Errorf("empty batch: err = %v, want ErrBadRating", err)
+	}
+	// The whole batch is rejected: one bad rating blocks the good one.
+	if _, err := e.AppendRatings(ctx, []model.Rating{good[0], tc0bad(good[0])}); !errors.Is(err, ErrBadRating) {
+		t.Errorf("mixed batch: err = %v, want ErrBadRating", err)
+	}
+	if e.CurrentEpoch() != 1 {
+		t.Fatalf("rejected batches advanced the epoch to %d", e.CurrentEpoch())
+	}
+
+	// An engine without EnableIngest refuses writes outright.
+	plain := testEngine(t)
+	if _, err := plain.AppendRatings(ctx, good); !errors.Is(err, ErrIngestDisabled) {
+		t.Errorf("disabled engine: err = %v, want ErrIngestDisabled", err)
+	}
+}
+
+func tc0bad(r model.Rating) model.Rating {
+	r.Score = 0
+	return r
+}
+
+func TestFutureEpochRejected(t *testing.T) {
+	e := ingestEngine(t)
+	q := mustQuery(t, e, `movie:"Toy Story"`)
+	q.Epoch = 99
+	if _, err := e.Explain(ExplainRequest{Query: q}); !errors.Is(err, ErrFutureEpoch) {
+		t.Fatalf("err = %v, want ErrFutureEpoch", err)
+	}
+	if _, err := e.BrowseStatesAt(99); !errors.Is(err, ErrFutureEpoch) {
+		t.Fatalf("browse err = %v, want ErrFutureEpoch", err)
+	}
+}
+
+// TestPinnedReadByteIdentical is the determinism acceptance check: a
+// read pinned at epoch 1 returns byte-identical results before and after
+// later appends land — even with every cache disabled, so the identity
+// comes from the epoch watermark, not from a cached payload.
+func TestPinnedReadByteIdentical(t *testing.T) {
+	e := ingestEngine(t)
+	q := mustQuery(t, e, `movie:"Toy Story"`)
+	q.Epoch = 1
+	req := ExplainRequest{Query: q, DisableCache: true}
+
+	before, err := e.Explain(req)
+	if err != nil {
+		t.Fatalf("Explain before append: %v", err)
+	}
+	beforeJSON := explainJSON(t, before)
+
+	item := itemIDByTitle(t, "Toy Story")
+	for i := 0; i < 2; i++ {
+		if _, err := e.AppendRatings(context.Background(), ratingsFor(t, e, item, 3)); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+
+	after, err := e.Explain(req)
+	if err != nil {
+		t.Fatalf("Explain after append: %v", err)
+	}
+	if !bytes.Equal(beforeJSON, explainJSON(t, after)) {
+		t.Fatal("epoch-1 pinned explanation changed across appends")
+	}
+
+	// The latest view, by contrast, sees the 6 new ratings.
+	qLatest := q
+	qLatest.Epoch = 0
+	latest, err := e.Explain(ExplainRequest{Query: qLatest, DisableCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if latest.NumRatings != before.NumRatings+6 {
+		t.Fatalf("latest NumRatings = %d, want %d", latest.NumRatings, before.NumRatings+6)
+	}
+}
+
+// TestPlanCacheSurvivesDisjointAppend: an append seals only the plans
+// whose item set intersects the batch; a plan for an untouched movie
+// keeps serving warm hits at the new epoch.
+func TestPlanCacheSurvivesDisjointAppend(t *testing.T) {
+	e := ingestEngine(t)
+	toy := mustQuery(t, e, `movie:"Toy Story"`)
+	heat := mustQuery(t, e, `movie:"Heat"`)
+	for _, q := range []Query{toy, heat} {
+		if _, err := e.Explain(ExplainRequest{Query: q}); err != nil {
+			t.Fatalf("prime %s: %v", q, err)
+		}
+	}
+	ps := e.PlanStats()
+	if ps.Invalidated != 0 || ps.Surviving != 0 {
+		t.Fatalf("counters before append: %+v", ps)
+	}
+	buildsBefore := ps.Builds
+
+	if _, err := e.AppendRatings(context.Background(), ratingsFor(t, e, itemIDByTitle(t, "Toy Story"), 2)); err != nil {
+		t.Fatal(err)
+	}
+	ps = e.PlanStats()
+	if ps.Invalidated < 1 {
+		t.Fatalf("append touching Toy Story sealed no plans: %+v", ps)
+	}
+	if ps.Surviving < 1 {
+		t.Fatalf("append sealed every plan — invalidation is not surgical: %+v", ps)
+	}
+
+	// Heat at the new epoch rides the surviving plan: no new build.
+	if _, err := e.Explain(ExplainRequest{Query: heat}); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.PlanStats().Builds; got != buildsBefore {
+		t.Fatalf("untouched plan rebuilt: builds %d -> %d", buildsBefore, got)
+	}
+	// Toy Story at the new epoch must rebuild against the fresh data.
+	if _, err := e.Explain(ExplainRequest{Query: toy}); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.PlanStats().Builds; got != buildsBefore+1 {
+		t.Fatalf("touched plan did not rebuild: builds %d -> %d", buildsBefore, got)
+	}
+
+	st, on := e.IngestStats()
+	if !on {
+		t.Fatal("IngestStats off on an armed engine")
+	}
+	if st.Epoch != 2 || st.Batches != 1 || st.Tuples != 2 {
+		t.Fatalf("ingest stats = %+v", st)
+	}
+	if st.PlansInvalidated != ps.Invalidated || st.PlansSurviving != ps.Surviving {
+		t.Fatalf("ingest stats disagree with plan stats: %+v vs %+v", st, ps)
+	}
+}
+
+// TestWALCrashRecovery is the crash acceptance check: a second engine
+// replaying the same WAL lands on exactly the pre-crash epoch and serves
+// byte-identical results.
+func TestWALCrashRecovery(t *testing.T) {
+	ds := ingestDataset(t)
+	wal := filepath.Join(t.TempDir(), "ingest.wal")
+	e1, err := Open(ds, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e1.EnableIngest(wal); err != nil {
+		t.Fatal(err)
+	}
+	item := itemIDByTitle(t, "Toy Story")
+	for i := 0; i < 3; i++ {
+		if _, err := e1.AppendRatings(context.Background(), ratingsFor(t, e1, item, 2)); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	q := mustQuery(t, e1, `movie:"Toy Story"`)
+	req := ExplainRequest{Query: q, DisableCache: true}
+	want, err := e1.Explain(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// "Crash": abandon e1, rebuild from the dataset + WAL alone.
+	e2, err := Open(ds, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epoch, err := e2.EnableIngest(wal)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if epoch != 4 {
+		t.Fatalf("replayed to epoch %d, want the pre-crash 4", epoch)
+	}
+	if e2.Fingerprint() != e1.Fingerprint() {
+		t.Fatal("replayed engine's fingerprint differs")
+	}
+	got, err := e2.Explain(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(explainJSON(t, want), explainJSON(t, got)) {
+		t.Fatal("replayed engine serves different results")
+	}
+}
+
+// TestEvolutionGainsLiveWindow: a batch of fresh ratings extends the
+// time range, so the latest-epoch slider gains a live window while a
+// pinned sweep replays exactly the windows its epoch had.
+func TestEvolutionGainsLiveWindow(t *testing.T) {
+	e := ingestEngine(t)
+	q := mustQuery(t, e, `movie:"Toy Story"`)
+	before, err := e.Evolution(ExplainRequest{Query: q})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Land the batch two years past the newest rating.
+	ds := ingestDataset(t)
+	_, maxUnix := e.TimeRange()
+	batch := []model.Rating{{
+		UserID: ds.Users[0].ID,
+		ItemID: itemIDByTitle(t, "Toy Story"),
+		Score:  4,
+		Unix:   maxUnix + 2*365*24*3600,
+	}}
+	if _, err := e.AppendRatings(context.Background(), batch); err != nil {
+		t.Fatal(err)
+	}
+
+	after, err := e.Evolution(ExplainRequest{Query: q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) <= len(before) {
+		t.Fatalf("live sweep has %d windows, want more than the %d pre-append", len(after), len(before))
+	}
+	pinnedQ := q
+	pinnedQ.Epoch = 1
+	pinned, err := e.Evolution(ExplainRequest{Query: pinnedQ})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pinned) != len(before) {
+		t.Fatalf("pinned sweep has %d windows, want the original %d", len(pinned), len(before))
+	}
+}
+
+// TestAppendWhileMining races the write path against concurrent readers;
+// run under -race it pins the locking discipline end to end.
+func TestAppendWhileMining(t *testing.T) {
+	e := ingestEngine(t)
+	item := itemIDByTitle(t, "Toy Story")
+	q := mustQuery(t, e, `movie:"Toy Story"`)
+	pinned := q
+	pinned.Epoch = 1
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	errs := make(chan error, 64)
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func(r int) {
+			defer readers.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				req := ExplainRequest{Query: q}
+				if r%2 == 1 {
+					req.Query = pinned
+				}
+				if i%3 == 0 {
+					req.DisableCache = true
+				}
+				if _, err := e.Explain(req); err != nil {
+					errs <- fmt.Errorf("reader %d: %w", r, err)
+					return
+				}
+				if _, err := e.BrowseStatesAt(0); err != nil {
+					errs <- fmt.Errorf("reader %d browse: %w", r, err)
+					return
+				}
+			}
+		}(r)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := e.AppendRatings(context.Background(), ratingsFor(t, e, item, 3)); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	close(stop)
+	readers.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if e.CurrentEpoch() != 6 {
+		t.Fatalf("epoch = %d after 5 appends, want 6", e.CurrentEpoch())
+	}
+}

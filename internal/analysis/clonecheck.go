@@ -5,13 +5,14 @@ import (
 	"go/types"
 )
 
-// cacheFetchMethods maps internal/store cache types to the method whose
-// return value hands out a cached pointer: the LRU result cache, the
-// singleflight layer in front of it, and the materialized-plan tier.
-var cacheFetchMethods = map[string]string{
-	"LRU":       "Get",
-	"Flight":    "Do",
-	"PlanCache": "GetOrBuild",
+// cacheFetchMethods maps internal/store cache types to the methods whose
+// return values hand out a cached pointer: the LRU result cache, the
+// singleflight layer in front of it, and the materialized-plan tier
+// (both the current-epoch and the epoch-pinned fetch).
+var cacheFetchMethods = map[string][]string{
+	"LRU":       {"Get"},
+	"Flight":    {"Do"},
+	"PlanCache": {"GetOrBuild", "GetOrBuildAt"},
 }
 
 // Clonecheck statically catches the PR 2 cache-aliasing bug class:
@@ -23,9 +24,10 @@ var cacheFetchMethods = map[string]string{
 var Clonecheck = &Analyzer{
 	Name: "clonecheck",
 	Doc: "a pointer fetched from store.LRU.Get / store.Flight.Do / " +
-		"store.PlanCache.GetOrBuild must not be returned without calling " +
-		"Clone on it; cache hits must hand out deep copies",
-	Run: runClonecheck,
+		"store.PlanCache.GetOrBuild(At) must not be returned without " +
+		"calling Clone on it; cache hits must hand out deep copies",
+	Version: "2",
+	Run:     runClonecheck,
 }
 
 func runClonecheck(pass *Pass) error {
@@ -67,11 +69,12 @@ func isCacheFetch(pass *Pass, call *ast.CallExpr) (string, bool) {
 	if obj.Pkg() == nil || !pathHasSuffix(obj.Pkg().Path(), "internal/store") {
 		return "", false
 	}
-	want, ok := cacheFetchMethods[obj.Name()]
-	if !ok || fn.Name() != want {
-		return "", false
+	for _, want := range cacheFetchMethods[obj.Name()] {
+		if fn.Name() == want {
+			return obj.Name() + "." + want, true
+		}
 	}
-	return obj.Name() + "." + want, true
+	return "", false
 }
 
 // checkCloneFlow walks one function body in source order, tracking

@@ -13,6 +13,7 @@ var miningPkgSuffixes = []string{
 	"internal/core",
 	"internal/cube",
 	"internal/explore",
+	"internal/ingest",
 	"internal/store",
 }
 
@@ -33,8 +34,8 @@ var Determinism = &Analyzer{
 	Name: "determinism",
 	Doc: "forbid time.Now, global math/rand, ad-hoc rand.New and unsorted " +
 		"map-iteration results in the mining packages (internal/core, " +
-		"internal/cube, internal/explore, internal/store); mined results " +
-		"must be a pure function of (query, seed, epoch)",
+		"internal/cube, internal/explore, internal/ingest, internal/store); " +
+		"mined results must be a pure function of (query, seed, epoch)",
 	Run: runDeterminism,
 }
 

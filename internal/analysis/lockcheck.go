@@ -11,6 +11,7 @@ import (
 // across a blocking call there stalls every contender — and in the
 // scatter-gather tier, can wedge a whole fleet behind one slow worker.
 var lockPkgSuffixes = []string{
+	"internal/ingest",
 	"internal/jobs",
 	"internal/shard",
 	"internal/store",
@@ -26,12 +27,12 @@ var lockPkgSuffixes = []string{
 // Unlocks that a pending deferred Unlock will double-unlock.
 var Lockcheck = &Analyzer{
 	Name: "lockcheck",
-	Doc: "in internal/{jobs,shard,store,fault}: flag blocking calls " +
+	Doc: "in internal/{ingest,jobs,shard,store,fault}: flag blocking calls " +
 		"(channel ops, selects without default, pkg/client RPCs, HTTP, " +
 		"Wait, Sleep, file I/O) while a sync.Mutex/RWMutex is held, " +
 		"return paths that leak a held lock, and explicit Unlocks that a " +
 		"deferred Unlock then double-unlocks",
-	Version: "1",
+	Version: "2",
 	Run:     runLockcheck,
 }
 

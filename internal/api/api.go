@@ -61,6 +61,7 @@ const (
 //	GET|POST /api/v1/evolution  — the yearly time slider
 //	GET|POST /api/v1/browse     — whole-log per-state choropleth
 //	POST     /api/v1/batch      — up to MaxBatch explains, fanned out concurrently
+//	POST     /api/v1/ratings    — append a batch of new ratings (202 + epoch)
 //
 // Every endpoint answers failures with the ErrorEnvelope. Handlers encode
 // into a buffer before touching the response headers, so an encode
@@ -109,6 +110,9 @@ func NewMulti(reg *maprat.Registry, cfg Config) *Handler {
 	h.mux.Handle("/api/v1/evolution", h.wrap("evolution", h.handleEvolution))
 	h.mux.Handle("/api/v1/browse", h.wrap("browse", h.handleBrowse))
 	h.mux.Handle("/api/v1/batch", h.wrap("batch", h.handleBatch))
+	// The live-ingestion write path. Deliberately absent from
+	// etagEndpoints: a write is never cacheable.
+	h.mux.Handle("/api/v1/ratings", h.wrap("ratings", h.handleAppend))
 	// The async job surface. The patterns carry no method so every
 	// unsupported method still answers the structured 405 envelope
 	// (ServeMux's own 405 is plain text).
@@ -398,7 +402,29 @@ func (h *Handler) handleBrowse(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	states := eng.BrowseStates()
+	epoch, err := uint64Param(r.URL.Query().Get("epoch"), "epoch")
+	if err != nil {
+		decodeFail(w, err)
+		return
+	}
+	var states []maprat.StateOverview
+	if epoch != nil && *epoch != 0 {
+		// Epoch pinning is a local-engine feature; a coordinator mount
+		// serves only the latest merged view.
+		eb, ok := eng.(interface {
+			BrowseStatesAt(uint64) ([]maprat.StateOverview, error)
+		})
+		if !ok {
+			writeEnvelope(w, CodeBadRequest, "this server does not support epoch-pinned browse")
+			return
+		}
+		if states, err = eb.BrowseStatesAt(*epoch); err != nil {
+			writeError(w, err)
+			return
+		}
+	} else {
+		states = eng.BrowseStates()
+	}
 	if states == nil {
 		writeEnvelope(w, CodeInternal, "browse mode needs the precomputed global cube")
 		return

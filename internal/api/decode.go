@@ -58,6 +58,10 @@ type Params struct {
 	// From and To restrict ratings to calendar years (inclusive).
 	From *int `json:"from,omitempty"`
 	To   *int `json:"to,omitempty"`
+	// Epoch pins the request to a data version under live ingestion
+	// (absent or 0 = latest). A pinned response is byte-identical no
+	// matter how many batches were appended after that epoch.
+	Epoch *uint64 `json:"epoch,omitempty"`
 	// Geo is "" or "on" for the demo's state-anchored groups, "off" for
 	// the framework mode (groups without a geo-condition).
 	Geo string `json:"geo,omitempty"`
@@ -180,6 +184,9 @@ func paramsFromQuery(r *http.Request) (Params, error) {
 	if p.To, err = intParam(q.Get("to"), "to"); err != nil {
 		return p, err
 	}
+	if p.Epoch, err = uint64Param(q.Get("epoch"), "epoch"); err != nil {
+		return p, err
+	}
 	if p.Buckets, err = intParam(q.Get("buckets"), "buckets"); err != nil {
 		return p, err
 	}
@@ -207,6 +214,17 @@ func int64Param(v, name string) (*int64, error) {
 	n, err := strconv.ParseInt(v, 10, 64)
 	if err != nil {
 		return nil, badRequestf("bad %s %q (want an integer)", name, v)
+	}
+	return &n, nil
+}
+
+func uint64Param(v, name string) (*uint64, error) {
+	if v == "" {
+		return nil, nil
+	}
+	n, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		return nil, badRequestf("bad %s %q (want an unsigned integer)", name, v)
 	}
 	return &n, nil
 }
@@ -289,6 +307,9 @@ func (p Params) ExplainRequest() (maprat.ExplainRequest, error) {
 	q.Window, err = p.window()
 	if err != nil {
 		return req, err
+	}
+	if p.Epoch != nil {
+		q.Epoch = *p.Epoch
 	}
 	req = maprat.ExplainRequest{Query: q, Settings: settings}
 	for _, ts := range p.Tasks {

@@ -73,6 +73,13 @@ func CodeForError(err error) ErrorCode {
 		return CodeNoGroup
 	case errors.Is(err, maprat.ErrUnavailable):
 		return CodeUnavailable
+	// Live ingestion: a bad batch or a read pinned past the current epoch
+	// is the client's to fix; an engine whose write path was never armed
+	// answers 503 so clients route writes elsewhere.
+	case errors.Is(err, maprat.ErrBadRating), errors.Is(err, maprat.ErrFutureEpoch):
+		return CodeBadRequest
+	case errors.Is(err, maprat.ErrIngestDisabled):
+		return CodeUnavailable
 	default:
 		return CodeInternal
 	}

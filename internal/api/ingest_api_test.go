@@ -1,0 +1,199 @@
+package api
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+// ingestServer mounts a fresh engine with live ingestion armed — the
+// shared test engine must stay immutable for the golden suites.
+func ingestServer(t *testing.T) (*httptest.Server, *maprat.Engine) {
+	t.Helper()
+	ds, err := maprat.Generate(maprat.SmallGenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := maprat.Open(ds, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.EnableIngest(filepath.Join(t.TempDir(), "ingest.wal")); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(eng, Config{}))
+	t.Cleanup(ts.Close)
+	return ts, eng
+}
+
+func postJSON(t *testing.T, ts *httptest.Server, path, body string) (int, string) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(out)
+}
+
+func appendBody(t *testing.T, eng *maprat.Engine, score int) string {
+	t.Helper()
+	ds := eng.Dataset()
+	_, maxUnix := eng.TimeRange()
+	req := AppendRequest{Ratings: []RatingInput{{
+		UserID: ds.Users[0].ID,
+		ItemID: ds.ItemsByTitle("Toy Story")[0].ID,
+		Score:  score,
+		Unix:   maxUnix + 1,
+	}}}
+	b, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestAppendEndpointLifecycle drives the write path over HTTP: 202 with
+// the assigned epoch, ETag rollover on the live view (the satellite
+// regression: a previously tagged GET re-mines after a write), stable
+// pinned tags, and epoch-pinned browse.
+func TestAppendEndpointLifecycle(t *testing.T) {
+	ts, eng := ingestServer(t)
+	explainPath := "/api/v1/explain?q=" + url.QueryEscape(`movie:"Toy Story"`) + "&k=2"
+
+	// Tag the pre-append representation.
+	resp := rawGet(t, ts, explainPath, nil)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	liveTag := resp.Header.Get("ETag")
+	if resp.StatusCode != 200 || liveTag == "" {
+		t.Fatalf("prime GET: status=%d etag=%q", resp.StatusCode, liveTag)
+	}
+	pinnedPath := explainPath + "&epoch=1"
+	resp = rawGet(t, ts, pinnedPath, nil)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	pinnedTag := resp.Header.Get("ETag")
+	if resp.StatusCode != 200 || pinnedTag == "" {
+		t.Fatalf("pinned GET: status=%d etag=%q", resp.StatusCode, pinnedTag)
+	}
+
+	// Append one rating: 202 + epoch 2.
+	code, body := postJSON(t, ts, "/api/v1/ratings", appendBody(t, eng, 5))
+	if code != http.StatusAccepted {
+		t.Fatalf("append: status=%d body=%s", code, body)
+	}
+	var ar AppendResponse
+	if err := json.Unmarshal([]byte(body), &ar); err != nil {
+		t.Fatalf("append response: %v\n%s", err, body)
+	}
+	if ar.Epoch != 2 || ar.Accepted != 1 {
+		t.Fatalf("append response = %+v, want epoch 2, accepted 1", ar)
+	}
+
+	// The satellite-1 regression: the pre-append tag is stale — a
+	// conditional GET re-mines (200, fresh tag) instead of answering 304.
+	mines := eng.MineCount()
+	resp = rawGet(t, ts, explainPath, map[string]string{"If-None-Match": liveTag})
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("stale-tag GET after append: status=%d, want 200", resp.StatusCode)
+	}
+	if eng.MineCount() == mines {
+		t.Fatal("stale-tag GET did not re-mine")
+	}
+	newTag := resp.Header.Get("ETag")
+	if newTag == "" || newTag == liveTag {
+		t.Fatalf("ETag did not roll: %q -> %q", liveTag, newTag)
+	}
+
+	// The pinned tag stays valid: same epoch, same bytes, 304.
+	resp = rawGet(t, ts, pinnedPath, map[string]string{"If-None-Match": pinnedTag})
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("pinned conditional GET: status=%d, want 304", resp.StatusCode)
+	}
+
+	// Epoch-pinned browse serves the frozen view; a future epoch is a
+	// client error.
+	for _, tc := range []struct {
+		path string
+		code int
+	}{
+		{"/api/v1/browse?epoch=1", 200},
+		{"/api/v1/browse?epoch=2", 200},
+		{"/api/v1/browse?epoch=99", 400},
+		{"/api/v1/explain?q=x&epoch=banana", 400},
+	} {
+		resp, err := http.Get(ts.URL + tc.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != tc.code {
+			t.Errorf("GET %s: status=%d, want %d", tc.path, resp.StatusCode, tc.code)
+		}
+	}
+}
+
+func TestAppendEndpointRejectsBadBatches(t *testing.T) {
+	ts, eng := ingestServer(t)
+	cases := []struct {
+		name, body string
+		wantCode   ErrorCode
+	}{
+		{"empty batch", `{"ratings":[]}`, CodeBadRequest},
+		{"malformed json", `{"ratings":`, CodeBadRequest},
+		{"unknown user", `{"ratings":[{"user_id":99999999,"item_id":1,"score":5,"unix":978300000}]}`, CodeBadRequest},
+		{"unknown dataset", `{"dataset":"nope","ratings":[{"user_id":1,"item_id":1,"score":5,"unix":978300000}]}`, CodeDatasetNotFound},
+	}
+	for _, tc := range cases {
+		code, body := postJSON(t, ts, "/api/v1/ratings", tc.body)
+		if code < 400 || code >= 500 {
+			t.Errorf("%s: status=%d, want a 4xx", tc.name, code)
+			continue
+		}
+		if got := envelopeCode(t, body); got != tc.wantCode {
+			t.Errorf("%s: code=%q, want %q", tc.name, got, tc.wantCode)
+		}
+	}
+	if eng.CurrentEpoch() != 1 {
+		t.Fatalf("rejected batches advanced the epoch to %d", eng.CurrentEpoch())
+	}
+
+	// GET is not a write.
+	resp, err := http.Get(ts.URL + "/api/v1/ratings")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /ratings: status=%d, want 405", resp.StatusCode)
+	}
+}
+
+// TestAppendEndpointDisabledEngine: the shared server's engine never
+// armed ingestion, so a write answers the unavailable envelope — the
+// deployment may simply route writes elsewhere.
+func TestAppendEndpointDisabledEngine(t *testing.T) {
+	code, body := post(t, "/api/v1/ratings",
+		`{"ratings":[{"user_id":1,"item_id":1,"score":5,"unix":978300000}]}`)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("status=%d, want 503\n%s", code, body)
+	}
+	if got := envelopeCode(t, body); got != CodeUnavailable {
+		t.Fatalf("code=%q, want %q", got, CodeUnavailable)
+	}
+}

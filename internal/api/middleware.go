@@ -202,12 +202,27 @@ func (h *Handler) etagFor(name string, r *http.Request) (string, bool) {
 	if !ok {
 		return "", false
 	}
+	// Under live ingestion the fingerprint folds the epoch in: an unpinned
+	// tag rolls over on every accepted append batch (a write invalidates
+	// cached 304s), while a ?epoch=-pinned tag is a function of the pinned
+	// epoch and stays valid across later appends.
+	fp := eng.Fingerprint()
+	if v := r.URL.Query().Get("epoch"); v != "" {
+		if ep, err := strconv.ParseUint(v, 10, 64); err == nil && ep > 0 {
+			if pin, ok := eng.(interface{ FingerprintAt(uint64) uint64 }); ok {
+				fp = pin.FingerprintAt(ep)
+			}
+		}
+		// Garbage (or 0 = latest) falls through to the live fingerprint;
+		// the handler's own decode answers the 400 for garbage, and a
+		// client can never hold a tag for a request that answered 400.
+	}
 	f := fnv.New64a()
 	f.Write([]byte(name))
 	f.Write([]byte{0})
 	f.Write([]byte(r.URL.Query().Encode()))
 	f.Write([]byte{0})
-	fmt.Fprintf(f, "%016x", eng.Fingerprint())
+	fmt.Fprintf(f, "%016x", fp)
 	return fmt.Sprintf(`"mr64-%016x"`, f.Sum64()), true
 }
 

@@ -1,0 +1,147 @@
+package cube
+
+import "sort"
+
+// Patch derives the cube for an extended tuple log without rebuilding it:
+// all must be the cube's own tuple slice plus an appended batch, and from
+// the length of the original log (all[:from] is what this cube was built
+// over). It returns a new Cube over all; the receiver is never mutated,
+// so readers holding it keep a consistent pre-append view — the store
+// swaps the patched cube in under its write lock.
+//
+// Maintenance is incremental:
+//
+//   - the batch's cells are enumerated exactly as Build enumerates them
+//     (shared buildCells path) and merged into existing groups via the
+//     O(1) Agg merge plus a member append — member arenas are
+//     capacity-capped, so the append copies the touched group's list and
+//     leaves the shared arena intact;
+//   - cells the original build pruned accumulate in a pending table; a
+//     pending cell whose batch-delta support alone reaches MinSupport is
+//     promoted by one exact full-log rescan, so a promoted group's
+//     aggregate and member list are identical to what a fresh Build
+//     would produce. Until the deltas alone re-earn the threshold a
+//     pre-existing sub-threshold cell stays pruned — a deliberate,
+//     conservative lag that keeps patching O(batch);
+//   - materialized coverage bitsets extend lazily by whole words: each
+//     dense row grows zero words to the new length and only the new
+//     members' bits are set. Density classification is fixed at first
+//     materialization; promoted groups evaluate through their member
+//     lists. The sibling table is not carried — the successor rebuilds
+//     it lazily if asked.
+//
+// Group positions are stable (existing indices keep their meaning for
+// the carried bitsets) and promoted groups append at the end in
+// ascending key order, so patching is deterministic; the build-time
+// support-descending group order is a Build-only invariant that a
+// patched cube intentionally trades for index stability.
+//
+// ok is false only when from does not match the receiver's log length —
+// a caller bug; the receiver is returned unchanged.
+func (c *Cube) Patch(all []Tuple, from int) (*Cube, bool) {
+	if from != len(c.Tuples) || from > len(all) {
+		return c, false
+	}
+	if from == len(all) {
+		return c, true
+	}
+	cells := buildCells(all, c.Cfg, freeAttrs(c.Cfg), from, len(all))
+
+	n2 := &Cube{
+		Tuples: all,
+		Cfg:    c.Cfg,
+		Groups: make([]Group, len(c.Groups), len(c.Groups)+len(c.pending)),
+		byKey:  make(map[Key]int, len(c.byKey)+4),
+	}
+	copy(n2.Groups, c.Groups)
+	for k, i := range c.byKey {
+		n2.byKey[k] = i
+	}
+	pending := make(map[Key]Agg, len(c.pending)+len(cells))
+	for k, a := range c.pending {
+		pending[k] = a
+	}
+
+	// Sorted key order keeps merge/promotion order — and therefore the
+	// promoted groups' positions — independent of map iteration.
+	keys := make([]Key, 0, len(cells))
+	for k := range cells {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return lessKey(keys[i], keys[j]) })
+
+	type touched struct {
+		group   int
+		members []int32
+	}
+	merged := make([]touched, 0, len(keys))
+	for _, k := range keys {
+		cl := cells[k]
+		if gi, ok := n2.byKey[k]; ok {
+			g := &n2.Groups[gi]
+			g.Agg.Merge(cl.agg)
+			// The member list is a capacity-capped arena slice, so this
+			// append always copies; the original cube's arena is shared
+			// untouched.
+			g.Members = append(g.Members, cl.members...)
+			merged = append(merged, touched{group: gi, members: cl.members})
+			continue
+		}
+		p := pending[k]
+		p.Merge(cl.agg)
+		if p.Count < c.Cfg.MinSupport {
+			pending[k] = p
+			continue
+		}
+		// Promotion: one exact full-log rescan rebuilds the cell from
+		// scratch, so the group carries its complete history — including
+		// the base tuples the original build pruned it with.
+		delete(pending, k)
+		g := Group{Key: k}
+		for ti := range all {
+			if k.Matches(all[ti].Vals) {
+				g.Agg.Add(all[ti].Score)
+				g.Members = append(g.Members, int32(ti))
+			}
+		}
+		n2.byKey[k] = len(n2.Groups)
+		n2.Groups = append(n2.Groups, g)
+	}
+	if len(pending) > 0 {
+		n2.pending = pending
+	}
+
+	// Carry materialized coverage bitsets forward, extended by whole
+	// words. bitsDone flips only after a fully published table, so a
+	// build racing this patch is simply not carried — the successor
+	// rebuilds lazily on first use.
+	if c.bitsDone.Load() {
+		words := BitsetWords(len(all))
+		bits := make([][]uint64, len(n2.Groups))
+		var bytes int64
+		for i, row := range c.bits {
+			if row == nil {
+				continue
+			}
+			nr := make([]uint64, words)
+			copy(nr, row)
+			bits[i] = nr
+			bytes += int64(words) * 8
+		}
+		for _, t := range merged {
+			row := bits[t.group]
+			if row == nil {
+				continue
+			}
+			for _, ti := range t.members {
+				row[ti>>6] |= 1 << (uint(ti) & 63)
+			}
+		}
+		n2.bitsOnce.Do(func() {
+			n2.bits = bits
+			n2.bitsBytes.Store(bytes + int64(len(bits))*24)
+			n2.bitsDone.Store(true)
+		})
+	}
+	return n2, true
+}

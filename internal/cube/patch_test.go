@@ -1,0 +1,195 @@
+package cube
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// groupSnapshot captures one group's identity-independent content: the
+// aggregate and the sorted member set. Patched cubes keep base group
+// positions stable and append promoted groups at the end, while Build
+// orders by support — so differential comparisons go key-by-key.
+type groupSnapshot struct {
+	agg     Agg
+	members []int32
+}
+
+func snapshotGroups(c *Cube) map[Key]groupSnapshot {
+	out := make(map[Key]groupSnapshot, len(c.Groups))
+	for i := range c.Groups {
+		g := &c.Groups[i]
+		m := append([]int32(nil), g.Members...)
+		sort.Slice(m, func(a, b int) bool { return m[a] < m[b] })
+		out[g.Key] = groupSnapshot{agg: g.Agg, members: m}
+	}
+	return out
+}
+
+// TestPatchEqualsBuildNoPruning: with MinSupport 1 there is no pending
+// lag, so a patched cube's groups must be exactly a fresh build's.
+func TestPatchEqualsBuildNoPruning(t *testing.T) {
+	all := randomTuples(1200, 17)
+	cfg := Config{RequireState: true, MinSupport: 1, MaxAVPairs: 2, SkipApex: true}
+	base := Build(all[:900], cfg)
+	patched, ok := base.Patch(all, 900)
+	if !ok {
+		t.Fatal("Patch rejected a matching from")
+	}
+	fresh := Build(all, cfg)
+	got, want := snapshotGroups(patched), snapshotGroups(fresh)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("patched groups differ from fresh build: %d vs %d groups", len(got), len(want))
+	}
+	if len(patched.pending) != 0 {
+		t.Fatalf("MinSupport 1 left %d pending cells", len(patched.pending))
+	}
+	// The receiver is untouched: copy-on-write.
+	if len(base.Tuples) != 900 {
+		t.Fatal("Patch mutated the receiver's tuple log")
+	}
+}
+
+// TestPatchDifferentialWithPruning pins the documented conservative lag:
+// every patched group matches the fresh build exactly, and any group the
+// fresh build has that patching missed must have been pruned at base
+// build time (its support re-earns the threshold only with base tuples
+// the patch deliberately does not rescan).
+func TestPatchDifferentialWithPruning(t *testing.T) {
+	all := randomTuples(1500, 43)
+	cfg := Config{RequireState: true, MinSupport: 4, MaxAVPairs: 3, SkipApex: true}
+	base := Build(all[:1000], cfg)
+	patched, ok := base.Patch(all, 1000)
+	if !ok {
+		t.Fatal("Patch rejected a matching from")
+	}
+	fresh := Build(all, cfg)
+	got, want := snapshotGroups(patched), snapshotGroups(fresh)
+
+	promoted := 0
+	for k, g := range got {
+		w, ok := want[k]
+		if !ok {
+			t.Fatalf("patched group %v absent from fresh build", k)
+		}
+		if !reflect.DeepEqual(g, w) {
+			t.Fatalf("group %v differs: patched %+v, fresh %+v", k, g, w)
+		}
+		if _, inBase := base.IndexOf(k); !inBase {
+			promoted++
+		}
+	}
+	for k := range want {
+		if _, ok := got[k]; ok {
+			continue
+		}
+		if _, inBase := base.IndexOf(k); inBase {
+			t.Fatalf("fresh group %v was in the base cube but missing from the patch", k)
+		}
+	}
+	if promoted == 0 {
+		t.Fatal("fixture never exercised pending-cell promotion; grow the batch or lower MinSupport")
+	}
+	// Base group positions are stable under patching.
+	for i := range base.Groups {
+		if patched.Groups[i].Key != base.Groups[i].Key {
+			t.Fatalf("group %d moved: %v -> %v", i, base.Groups[i].Key, patched.Groups[i].Key)
+		}
+	}
+}
+
+// TestPatchCarriesBitsets: bitsets materialized before the patch are
+// extended, not rebuilt, and stay consistent with the member lists.
+func TestPatchCarriesBitsets(t *testing.T) {
+	all := randomTuples(1500, 61)
+	cfg := Config{RequireState: true, MinSupport: 3, MaxAVPairs: 3, SkipApex: true}
+	base := Build(all[:1200], cfg)
+	base.MemberBits() // materialize pre-patch
+	patched, ok := base.Patch(all, 1200)
+	if !ok {
+		t.Fatal("Patch failed")
+	}
+	bits := patched.MemberBits()
+	if len(bits) != patched.Len() {
+		t.Fatalf("bitsets = %d rows for %d groups", len(bits), patched.Len())
+	}
+	words := BitsetWords(len(all))
+	for gi := range patched.Groups {
+		row := bits[gi]
+		if row == nil {
+			continue
+		}
+		if len(row) != words {
+			t.Fatalf("group %d bitset has %d words, want %d", gi, len(row), words)
+		}
+		if got := PopCount(row); got != len(patched.Groups[gi].Members) {
+			t.Fatalf("group %d popcount %d != member count %d", gi, got, len(patched.Groups[gi].Members))
+		}
+		for _, ti := range patched.Groups[gi].Members {
+			if row[ti>>6]&(1<<(uint(ti)&63)) == 0 {
+				t.Fatalf("group %d member %d missing from carried bitset", gi, ti)
+			}
+		}
+	}
+	// The base cube's own bitsets are untouched (old word length).
+	if got := len(base.MemberBits()); got != base.Len() {
+		t.Fatalf("base bitset table resized: %d rows", got)
+	}
+}
+
+// TestPatchPendingAccumulatesAcrossPatches: sub-threshold deltas carry
+// from patch to patch and promote once they alone re-earn the threshold.
+func TestPatchPendingAccumulatesAcrossPatches(t *testing.T) {
+	mk := func(state int16, n int, from int) []Tuple {
+		ts := make([]Tuple, n)
+		for i := range ts {
+			ts[i] = Tuple{Score: 4, Unix: 978300000 + int64(from+i), UserID: int32(from + i + 1), ItemID: 1}
+			ts[i].Vals[State] = state
+		}
+		return ts
+	}
+	cfg := Config{RequireState: true, MinSupport: 4, MaxAVPairs: 0, SkipApex: true}
+	// Base: state 1 well above threshold, state 2 absent.
+	all := mk(1, 10, 0)
+	c := Build(all, cfg)
+	if _, ok := c.IndexOf(KeyAll.With(State, 2)); ok {
+		t.Fatal("state 2 should not exist at base")
+	}
+	// First batch: 2 state-2 tuples — below threshold, stays pending.
+	all = append(all, mk(2, 2, 10)...)
+	c, ok := c.Patch(all, 10)
+	if !ok {
+		t.Fatal("patch 1 failed")
+	}
+	if _, found := c.IndexOf(KeyAll.With(State, 2)); found {
+		t.Fatal("sub-threshold cell surfaced early")
+	}
+	// Second batch: 2 more — pending total 4 reaches MinSupport, promoted.
+	all = append(all, mk(2, 2, 12)...)
+	c, ok = c.Patch(all, 12)
+	if !ok {
+		t.Fatal("patch 2 failed")
+	}
+	gi, found := c.IndexOf(KeyAll.With(State, 2))
+	if !found {
+		t.Fatal("pending cell not promoted at threshold")
+	}
+	g := c.Groups[gi]
+	if g.Agg.Count != 4 || len(g.Members) != 4 {
+		t.Fatalf("promoted group = %+v, want all 4 state-2 tuples", g)
+	}
+}
+
+func TestPatchRejectsMismatchedFrom(t *testing.T) {
+	all := randomTuples(100, 7)
+	c := Build(all[:80], Config{MinSupport: 1})
+	if got, ok := c.Patch(all, 50); ok || got != c {
+		t.Fatal("mismatched from accepted")
+	}
+	if got, ok := c.Patch(all[:70], 80); ok || got != c {
+		t.Fatal("from beyond the log accepted")
+	}
+	if got, ok := c.Patch(all[:80], 80); !ok || got != c {
+		t.Fatal("empty batch should return the receiver unchanged")
+	}
+}

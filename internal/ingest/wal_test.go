@@ -1,0 +1,246 @@
+package ingest
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// testBatch builds n distinct ratings; base offsets the IDs so batches
+// are distinguishable after a replay.
+func testBatch(n, base int) []model.Rating {
+	rs := make([]model.Rating, n)
+	for i := range rs {
+		rs[i] = model.Rating{
+			UserID: base + i + 1,
+			ItemID: base + i + 100,
+			Score:  1 + (base+i)%5,
+			Unix:   978300000 + int64(base+i),
+		}
+	}
+	return rs
+}
+
+func tempWAL(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "ingest.wal")
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	path := tempWAL(t)
+	w, batches, err := Open(path, 1)
+	if err != nil {
+		t.Fatalf("Open fresh: %v", err)
+	}
+	if len(batches) != 0 {
+		t.Fatalf("fresh log replayed %d batches", len(batches))
+	}
+	if w.Size() != headerLen {
+		t.Fatalf("fresh log size = %d, want %d", w.Size(), headerLen)
+	}
+	b2, b3 := testBatch(3, 0), testBatch(5, 50)
+	if err := w.Append(2, b2); err != nil {
+		t.Fatalf("Append epoch 2: %v", err)
+	}
+	if err := w.Append(3, b3); err != nil {
+		t.Fatalf("Append epoch 3: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, replayed, err := Open(path, 1)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	want := []Batch{{Epoch: 2, Ratings: b2}, {Epoch: 3, Ratings: b3}}
+	if !reflect.DeepEqual(replayed, want) {
+		t.Fatalf("replay = %+v, want %+v", replayed, want)
+	}
+}
+
+func TestWALEmptyBatchRejected(t *testing.T) {
+	w, _, err := Open(tempWAL(t), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Append(2, nil); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+}
+
+// TestWALCorruptTailTruncated: a record whose checksum fails is
+// unacknowledged work — replay stops before it, Open truncates it away,
+// and the log accepts the epoch again.
+func TestWALCorruptTailTruncated(t *testing.T) {
+	path := tempWAL(t)
+	w, _, err := Open(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(2, testBatch(3, 0)); err != nil {
+		t.Fatal(err)
+	}
+	goodSize := w.Size()
+	if err := w.Append(3, testBatch(4, 10)); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	// Flip one payload byte of the second record.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[goodSize+recHeaderLen+2] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, batches, err := Open(path, 1)
+	if err != nil {
+		t.Fatalf("reopen after corruption: %v", err)
+	}
+	if len(batches) != 1 || batches[0].Epoch != 2 {
+		t.Fatalf("replay = %+v, want exactly the epoch-2 batch", batches)
+	}
+	if w2.Size() != goodSize {
+		t.Fatalf("size after repair = %d, want truncated to %d", w2.Size(), goodSize)
+	}
+	if st, _ := os.Stat(path); st.Size() != goodSize {
+		t.Fatalf("file not truncated: %d bytes", st.Size())
+	}
+	// The repaired log accepts epoch 3 again and replays both batches.
+	b3 := testBatch(2, 40)
+	if err := w2.Append(3, b3); err != nil {
+		t.Fatal(err)
+	}
+	w2.Close()
+	_, batches, err = Open(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batches) != 2 || !reflect.DeepEqual(batches[1].Ratings, b3) {
+		t.Fatalf("replay after re-append = %+v", batches)
+	}
+}
+
+// TestWALTornRecordTruncated: a crash mid-write leaves a short record;
+// replay treats it as clean EOF.
+func TestWALTornRecordTruncated(t *testing.T) {
+	path := tempWAL(t)
+	w, _, err := Open(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(2, testBatch(3, 0)); err != nil {
+		t.Fatal(err)
+	}
+	goodSize := w.Size()
+	if err := w.Append(3, testBatch(3, 10)); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	if err := os.Truncate(path, goodSize+5); err != nil {
+		t.Fatal(err)
+	}
+	w2, batches, err := Open(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if len(batches) != 1 || w2.Size() != goodSize {
+		t.Fatalf("torn record: %d batches, size %d (want 1, %d)", len(batches), w2.Size(), goodSize)
+	}
+}
+
+// TestWALOutOfSequenceStops: replay requires consecutive epochs from
+// base+1; a gap marks everything after it unacknowledged.
+func TestWALOutOfSequenceStops(t *testing.T) {
+	path := tempWAL(t)
+	w, _, err := Open(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(2, testBatch(2, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(5, testBatch(2, 10)); err != nil { // gap: want 3
+		t.Fatal(err)
+	}
+	w.Close()
+	_, batches, err := Open(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batches) != 1 || batches[0].Epoch != 2 {
+		t.Fatalf("out-of-sequence replay = %+v", batches)
+	}
+}
+
+func TestWALBadMagicRejected(t *testing.T) {
+	path := tempWAL(t)
+	if err := os.WriteFile(path, []byte("NOTAWAL_plus_padding"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(path, 1); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+// TestWALShortHeaderReset: a file torn before the header finished is
+// indistinguishable from fresh — Open starts it clean.
+func TestWALShortHeaderReset(t *testing.T) {
+	path := tempWAL(t)
+	if err := os.WriteFile(path, []byte{'M', 'W'}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w, batches, err := Open(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if len(batches) != 0 || w.Size() != headerLen {
+		t.Fatalf("short header: %d batches, size %d", len(batches), w.Size())
+	}
+}
+
+// TestReadLogDoesNotRepair: the compaction-path reader tolerates a
+// corrupt tail but leaves the file alone.
+func TestReadLogDoesNotRepair(t *testing.T) {
+	path := tempWAL(t)
+	w, _, err := Open(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2 := testBatch(3, 0)
+	if err := w.Append(2, b2); err != nil {
+		t.Fatal(err)
+	}
+	goodSize := w.Size()
+	if err := w.Append(3, testBatch(3, 10)); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	raw, _ := os.ReadFile(path)
+	raw[goodSize+recHeaderLen] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sizeBefore := int64(len(raw))
+
+	batches, err := ReadLog(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batches) != 1 || !reflect.DeepEqual(batches[0].Ratings, b2) {
+		t.Fatalf("ReadLog = %+v", batches)
+	}
+	if st, _ := os.Stat(path); st.Size() != sizeBefore {
+		t.Fatalf("ReadLog repaired the file: %d -> %d bytes", sizeBefore, st.Size())
+	}
+}

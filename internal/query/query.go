@@ -84,6 +84,13 @@ type Query struct {
 	Op     Op
 	Preds  []Pred
 	Window store.TimeWindow
+	// Epoch pins the query to a store data version under live ingestion;
+	// 0 means latest. The mining layer resolves it before execution.
+	// Epoch deliberately does NOT participate in String(): the plan cache
+	// keys on the epoch-free text and versions entries by epoch range, so
+	// an append invalidates plans surgically instead of colding every
+	// key; result-cache keys fold the resolved epoch in separately.
+	Epoch uint64
 }
 
 // String renders the query canonically (predicates in input order joined

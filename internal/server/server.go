@@ -226,6 +226,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Jobs     jobs.Stats                      `json:"jobs"`
 		Datasets []datasetStat                   `json:"datasets"`
 		Shards   *api.ShardStats                 `json:"shards,omitempty"`
+		Ingest   *maprat.IngestStats             `json:"ingest,omitempty"`
 	}{
 		PlanCache: s.def.PlanStats(),
 		Mines:     s.def.MineCount(),
@@ -237,6 +238,15 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	if sp, ok := s.def.(interface{ ShardStats() api.ShardStats }); ok {
 		st := sp.ShardStats()
 		resp.Shards = &st
+	}
+	// A write-armed engine contributes its live-ingestion section (epoch
+	// clock, batch/tuple counters, WAL size, plan invalidation split).
+	if ip, ok := s.def.(interface {
+		IngestStats() (maprat.IngestStats, bool)
+	}); ok {
+		if st, on := ip.IngestStats(); on {
+			resp.Ingest = &st
+		}
 	}
 	for _, m := range s.reg.Mounts() {
 		st := m.Engine.DatasetStats()

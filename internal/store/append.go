@@ -1,0 +1,105 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cube"
+)
+
+// Append applies one accepted ingest batch to the store at the given
+// epoch, which must be exactly CurrentEpoch()+1 — the ingest layer
+// serializes writers and assigns epochs, the store only enforces the
+// sequence. The tuples must already be joined against the (immutable)
+// catalog. Maintenance is incremental:
+//
+//   - the batch appends to the tuple log and each touched item's
+//     time-sorted index list gains the new positions by sorted insert;
+//   - a new epochMark freezes the log extent and carries the batch's
+//     per-state aggregate delta for epoch-pinned browse reads;
+//   - the global cube, if already built, is delta-patched copy-on-write
+//     (see cube.Patch) — a failed patch just drops it back to lazy
+//     rebuild;
+//   - after the write lock is released, the plan cache seals exactly the
+//     live entries whose resolved item set intersects the batch;
+//     untouched plans stay warm.
+//
+// The result cache is NOT flushed: engine cache keys include the
+// resolved epoch, so entries for earlier epochs remain valid forever and
+// latest-epoch reads miss onto fresh keys.
+func (s *Store) Append(epoch uint64, tuples []cube.Tuple) error {
+	if len(tuples) == 0 {
+		return fmt.Errorf("store: empty append batch")
+	}
+	s.mu.Lock()
+	if epoch != s.epoch+1 {
+		cur := s.epoch
+		s.mu.Unlock()
+		return fmt.Errorf("store: append at epoch %d, want %d", epoch, cur+1)
+	}
+	base := len(s.tuples)
+	s.tuples = append(s.tuples, tuples...)
+
+	states := make([]cube.Agg, cube.Cardinality(cube.State))
+	items := make(map[int]struct{}, len(tuples))
+	for i := range tuples {
+		t := &s.tuples[base+i]
+		items[int(t.ItemID)] = struct{}{}
+		s.insertItemIndexLocked(int(t.ItemID), int32(base+i), t.Unix)
+		if base+i == 0 || t.Unix < s.minUnix {
+			s.minUnix = t.Unix
+		}
+		if base+i == 0 || t.Unix > s.maxUnix {
+			s.maxUnix = t.Unix
+		}
+		if st := t.Vals[cube.State]; st != cube.Wildcard {
+			states[st].Add(t.Score)
+		}
+	}
+	s.bounds = append(s.bounds, epochMark{
+		tuples:  len(s.tuples),
+		minUnix: s.minUnix,
+		maxUnix: s.maxUnix,
+		states:  states,
+	})
+	s.epoch = epoch
+
+	if s.globalCube != nil {
+		if patched, ok := s.globalCube.Patch(s.tuples, base); ok {
+			s.globalCube = patched
+			s.cubeEpoch = epoch
+		} else {
+			// Derived tables the patch cannot extend were materialized;
+			// fall back to a lazy rebuild on the next GlobalCube call.
+			s.globalCube = nil
+			s.cubeEpoch = 0
+		}
+	}
+
+	ids := make([]int, 0, len(items))
+	for id := range items {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	s.mu.Unlock()
+
+	if s.plans != nil {
+		s.plans.Advance(epoch, ids)
+	}
+	return nil
+}
+
+// insertItemIndexLocked inserts a new tuple position into an item's
+// time-sorted index list at the upper bound of its timestamp. New
+// positions are larger than every existing one, so inserting at the
+// upper bound preserves the (Unix, index) total order joinRatings
+// established — including within a batch, where later entries insert
+// after earlier ones carrying the same timestamp.
+func (s *Store) insertItemIndexLocked(itemID int, idx int32, unix int64) {
+	idxs := s.itemTuples[itemID]
+	at := sort.Search(len(idxs), func(i int) bool { return s.tuples[idxs[i]].Unix > unix })
+	idxs = append(idxs, 0)
+	copy(idxs[at+1:], idxs[at:])
+	idxs[at] = idx
+	s.itemTuples[itemID] = idxs
+}

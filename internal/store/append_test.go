@@ -1,0 +1,238 @@
+package store
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/cube"
+	"repro/internal/model"
+)
+
+// appendBatch joins n synthetic ratings for an existing (user, item) pair
+// at timestamps just past the log's current maximum, so the batch
+// visibly extends the time range.
+func appendBatch(t *testing.T, s *Store, n int) []cube.Tuple {
+	t.Helper()
+	ds := s.Dataset()
+	r0 := ds.Ratings[0]
+	u := ds.UserByID(r0.UserID)
+	if u == nil {
+		t.Fatal("fixture rating references unknown user")
+	}
+	_, maxUnix := s.TimeRange()
+	out := make([]cube.Tuple, n)
+	for i := range out {
+		r := model.Rating{UserID: r0.UserID, ItemID: r0.ItemID, Score: 5, Unix: maxUnix + int64(i+1)}
+		out[i] = cube.JoinRating(r, u)
+	}
+	return out
+}
+
+func TestAppendAdvancesEpochAndWatermark(t *testing.T) {
+	s := openStore(t, DefaultOptions())
+	base := s.NumTuples()
+	_, baseMax := s.TimeRange()
+	itemID := s.Dataset().Ratings[0].ItemID
+	pinnedCount := len(s.TuplesForItemsAt([]int{itemID}, TimeWindow{}, 1))
+
+	batch := appendBatch(t, s, 3)
+	if err := s.Append(2, batch); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if got := s.CurrentEpoch(); got != 2 {
+		t.Fatalf("epoch = %d, want 2", got)
+	}
+	if got := s.NumTuples(); got != base+3 {
+		t.Fatalf("NumTuples = %d, want %d", got, base+3)
+	}
+	if got := s.NumTuplesAt(1); got != base {
+		t.Fatalf("NumTuplesAt(1) = %d, want the base watermark %d", got, base)
+	}
+	if got := s.NumTuplesAt(0); got != base+3 {
+		t.Fatalf("NumTuplesAt(0) = %d, want latest %d", got, base+3)
+	}
+
+	// The pinned time range is frozen; the latest range extends.
+	if _, hi := s.TimeRangeAt(1); hi != baseMax {
+		t.Fatalf("TimeRangeAt(1) hi = %d, want frozen %d", hi, baseMax)
+	}
+	if _, hi := s.TimeRangeAt(0); hi != baseMax+3 {
+		t.Fatalf("TimeRangeAt(0) hi = %d, want %d", hi, baseMax+3)
+	}
+
+	// Epoch-pinned gathers filter at the watermark; latest sees the batch.
+	if got := len(s.TuplesForItemsAt([]int{itemID}, TimeWindow{}, 1)); got != pinnedCount {
+		t.Fatalf("pinned gather = %d tuples, want %d", got, pinnedCount)
+	}
+	if got := len(s.TuplesForItemsAt([]int{itemID}, TimeWindow{}, 0)); got != pinnedCount+3 {
+		t.Fatalf("latest gather = %d tuples, want %d", got, pinnedCount+3)
+	}
+}
+
+func TestAppendEnforcesEpochSequence(t *testing.T) {
+	s := openStore(t, DefaultOptions())
+	batch := appendBatch(t, s, 1)
+	if err := s.Append(3, batch); err == nil {
+		t.Fatal("epoch gap accepted")
+	}
+	if err := s.Append(1, batch); err == nil {
+		t.Fatal("stale epoch accepted")
+	}
+	if err := s.Append(2, nil); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	if err := s.Append(2, batch); err != nil {
+		t.Fatalf("in-sequence append rejected: %v", err)
+	}
+}
+
+// TestAppendStateAggsDelta: the browse aggregates fold per-epoch deltas —
+// pinned reads are frozen, the latest read gains exactly the batch.
+func TestAppendStateAggsDelta(t *testing.T) {
+	s := openStore(t, DefaultOptions())
+	before, _, ok := s.StateAggsAt(0)
+	if !ok {
+		t.Fatal("precompute enabled but StateAggsAt not ok")
+	}
+	batch := appendBatch(t, s, 4)
+	st := batch[0].Vals[cube.State]
+	if st == cube.Wildcard {
+		t.Fatal("fixture batch has no state; pick a geocoded reviewer")
+	}
+	if err := s.Append(2, batch); err != nil {
+		t.Fatal(err)
+	}
+	pinned, _, _ := s.StateAggsAt(1)
+	latest, _, _ := s.StateAggsAt(0)
+	for i := range before {
+		if pinned[i] != before[i] {
+			t.Fatalf("state %d pinned agg changed: %+v -> %+v", i, before[i], pinned[i])
+		}
+		want := before[i]
+		if int16(i) == st {
+			for range batch {
+				want.Add(5)
+			}
+		}
+		if latest[i] != want {
+			t.Fatalf("state %d latest agg = %+v, want %+v", i, latest[i], want)
+		}
+	}
+}
+
+// TestAppendPatchesGlobalCube: a built global cube is patched
+// copy-on-write — the old snapshot stays intact for readers holding it.
+func TestAppendPatchesGlobalCube(t *testing.T) {
+	s := openStore(t, DefaultOptions())
+	gc1 := s.GlobalCube()
+	if gc1 == nil {
+		t.Fatal("precompute enabled but GlobalCube nil")
+	}
+	n1 := len(gc1.Tuples)
+	if err := s.Append(2, appendBatch(t, s, 3)); err != nil {
+		t.Fatal(err)
+	}
+	gc2 := s.GlobalCube()
+	if gc2 == gc1 {
+		t.Fatal("append did not swap the global cube")
+	}
+	if len(gc1.Tuples) != n1 {
+		t.Fatal("append mutated the pre-append cube snapshot")
+	}
+	if len(gc2.Tuples) != n1+3 {
+		t.Fatalf("patched cube covers %d tuples, want %d", len(gc2.Tuples), n1+3)
+	}
+}
+
+// TestPlanCacheAdvanceSurgical pins the invalidation contract: an append
+// seals exactly the live entries whose item set intersects the batch,
+// counts the split, and sealed versions keep serving their epoch range.
+func TestPlanCacheAdvanceSurgical(t *testing.T) {
+	pc := NewPlanCache(1000)
+	ctx := context.Background()
+	mk := func(items ...int) func() (*Plan, error) {
+		return func() (*Plan, error) {
+			return &Plan{ItemIDs: items, Tuples: make([]cube.Tuple, 10)}, nil
+		}
+	}
+	if _, _, err := pc.GetOrBuildAt(ctx, "toy", 1, mk(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := pc.GetOrBuildAt(ctx, "heat", 1, mk(5, 6)); err != nil {
+		t.Fatal(err)
+	}
+
+	pc.Advance(2, []int{2, 3}) // batch touches item 2: seals "toy" only
+	st := pc.Stats()
+	if st.Invalidated != 1 || st.Surviving != 1 {
+		t.Fatalf("split = invalidated %d / surviving %d, want 1/1", st.Invalidated, st.Surviving)
+	}
+
+	// The untouched plan stays warm at the new epoch.
+	if _, hit, _ := pc.GetOrBuildAt(ctx, "heat", 2, mk(5, 6)); !hit {
+		t.Fatal("disjoint plan was not warm after the append")
+	}
+	// The sealed version still serves reads pinned at its range...
+	if _, hit, _ := pc.GetOrBuildAt(ctx, "toy", 1, mk(1, 2)); !hit {
+		t.Fatal("sealed version no longer serves its pinned epoch")
+	}
+	// ...but a latest-epoch fetch rebuilds.
+	rebuilt := false
+	if _, hit, _ := pc.GetOrBuildAt(ctx, "toy", 2, func() (*Plan, error) {
+		rebuilt = true
+		return &Plan{ItemIDs: []int{1, 2}, Tuples: make([]cube.Tuple, 10)}, nil
+	}); hit || !rebuilt {
+		t.Fatalf("intersecting plan served stale: hit=%v rebuilt=%v", hit, rebuilt)
+	}
+
+	// Both versions of "toy" coexist under one key; a second disjoint
+	// append leaves all three live-or-sealed entries in place and counts
+	// the two live ones as surviving.
+	if pc.Len() != 3 {
+		t.Fatalf("entries = %d, want 3 (two toy versions + heat)", pc.Len())
+	}
+	pc.Advance(3, []int{99})
+	st = pc.Stats()
+	if st.Invalidated != 1 || st.Surviving != 3 {
+		t.Fatalf("after disjoint append: invalidated %d / surviving %d, want 1/3", st.Invalidated, st.Surviving)
+	}
+}
+
+// TestPlanCachePutSealsStaleBuild: a plan whose build started before an
+// append lands is stored sealed to its build epoch, never serving later
+// epochs it did not see.
+func TestPlanCachePutSealsStaleBuild(t *testing.T) {
+	pc := NewPlanCache(1000)
+	ctx := context.Background()
+	started := make(chan struct{})
+	proceed := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		pc.GetOrBuildAt(ctx, "k", 1, func() (*Plan, error) {
+			close(started)
+			<-proceed
+			return &Plan{ItemIDs: []int{1}, Tuples: make([]cube.Tuple, 5)}, nil
+		})
+	}()
+	<-started
+	pc.Advance(2, []int{1}) // append lands mid-build
+	close(proceed)
+	<-done
+
+	// The stale build serves its own epoch but not the new one.
+	if _, hit, _ := pc.GetOrBuildAt(ctx, "k", 1, func() (*Plan, error) {
+		t.Fatal("epoch-1 fetch rebuilt over the sealed entry")
+		return nil, nil
+	}); !hit {
+		t.Fatal("sealed stale build does not serve its own epoch")
+	}
+	rebuilt := false
+	pc.GetOrBuildAt(ctx, "k", 2, func() (*Plan, error) {
+		rebuilt = true
+		return &Plan{ItemIDs: []int{1}, Tuples: make([]cube.Tuple, 5)}, nil
+	})
+	if !rebuilt {
+		t.Fatal("epoch-2 fetch served a plan built against the epoch-1 watermark")
+	}
+}

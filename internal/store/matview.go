@@ -3,6 +3,7 @@ package store
 import (
 	"container/list"
 	"context"
+	"strconv"
 	"sync"
 
 	"repro/internal/cube"
@@ -59,7 +60,13 @@ type PlanStats struct {
 	// a plan (Misses minus failed builds).
 	Builds    uint64 `json:"builds"`
 	Evictions uint64 `json:"evictions"`
-	Entries   int    `json:"entries"`
+	// Invalidated counts live entries sealed by an append whose batch
+	// intersected their resolved item set; Surviving counts live entries
+	// an append left warm. Together they prove invalidation is surgical:
+	// Surviving grows while untouched plans keep taking hits.
+	Invalidated uint64 `json:"invalidated"`
+	Surviving   uint64 `json:"surviving"`
+	Entries     int    `json:"entries"`
 	// Tuples is the current budget usage against MaxTuples.
 	Tuples    int   `json:"tuples"`
 	MaxTuples int   `json:"max_tuples"`
@@ -72,23 +79,42 @@ type PlanStats struct {
 // caller's canonical (query, window, cube config) fingerprint and sized
 // by total tuple count rather than entry count — one whole-log query must
 // not cost the same budget as a one-movie query.
+//
+// Under live ingestion the tier is versioned by epoch: every entry
+// carries the epoch range it is valid for, and an append seals — rather
+// than drops — exactly the live entries whose resolved item set
+// intersects the batch. A sealed entry keeps serving epoch-pinned reads
+// for its range until the LRU evicts it; entries the batch did not touch
+// stay live and warm across the epoch bump. The cache key stays
+// epoch-free: versions of one key chain under it.
 type PlanCache struct {
 	mu        sync.Mutex
 	maxTuples int
 	ll        *list.List // front = most recently used
-	items     map[string]*list.Element
+	versions  map[string][]*list.Element
 	tuples    int
+	epoch     uint64 // current store epoch; entries built at >= epoch are live
 
-	hits, misses, shared, builds, evictions uint64
+	hits, misses, shared, builds, evictions, invalidated, surviving uint64
 
-	// flight collapses concurrent builds of the same plan: a burst of
-	// interactions on one query resolves and builds its cube once.
+	// flight collapses concurrent builds of the same (key, epoch): a
+	// burst of interactions on one query resolves and builds its cube
+	// once.
 	flight Flight
 }
 
 type planEntry struct {
 	key  string
 	plan *Plan
+	// [lo, hi] is the entry's valid epoch range; hi == 0 means live
+	// (valid from lo through the current epoch, until an intersecting
+	// append seals it).
+	lo, hi uint64
+}
+
+// validAt reports whether the entry serves reads pinned at epoch e.
+func (e *planEntry) validAt(epoch uint64) bool {
+	return e.lo <= epoch && (e.hi == 0 || epoch <= e.hi)
 }
 
 // NewPlanCache builds a cache bounded to maxTuples total tuples across
@@ -100,27 +126,41 @@ func NewPlanCache(maxTuples int) *PlanCache {
 	return &PlanCache{
 		maxTuples: maxTuples,
 		ll:        list.New(),
-		items:     make(map[string]*list.Element),
+		versions:  make(map[string][]*list.Element),
+		epoch:     1,
 	}
 }
 
-// GetOrBuild returns the materialized plan for key, building it with
-// build on a miss. Concurrent callers with the same key share a single
-// build through the singleflight layer; hit reports whether the plan came
-// from the cache (or another caller's build) rather than this caller's
-// own build. Build errors are returned and never cached.
+// GetOrBuild fetches the plan for key at the cache's current epoch. See
+// GetOrBuildAt.
 func (pc *PlanCache) GetOrBuild(ctx context.Context, key string, build func() (*Plan, error)) (plan *Plan, hit bool, err error) {
+	pc.mu.Lock()
+	epoch := pc.epoch
+	pc.mu.Unlock()
+	return pc.GetOrBuildAt(ctx, key, epoch, build) //maprat:allow(clonecheck) delegation inside the plan cache's own API; Plan is immutable by contract
+}
+
+// GetOrBuildAt returns the materialized plan for key as of epoch,
+// building it with build on a miss. A version whose range covers the
+// epoch serves the fetch — in particular a live entry built before the
+// epoch, which is exactly the "untouched plan stays warm" case.
+// Concurrent callers with the same key and epoch share a single build
+// through the singleflight layer; hit reports whether the plan came from
+// the cache (or another caller's build) rather than this caller's own
+// build. Build errors are returned and never cached.
+func (pc *PlanCache) GetOrBuildAt(ctx context.Context, key string, epoch uint64, build func() (*Plan, error)) (plan *Plan, hit bool, err error) {
 	// Each logical fetch counts exactly once: as a hit when served from
 	// the cache, a leader's re-check, or another caller's in-flight build
 	// (the latter also counted in Shared), and as a miss only when this
 	// caller's own build ran (or failed).
-	if p, ok := pc.lookup(key); ok {
+	if p, ok := pc.lookupAt(key, epoch); ok {
 		return p, true, nil
 	}
-	v, sharedFlight, err := pc.flight.Do(ctx, key, func() (any, error) {
+	flightKey := key + "@" + strconv.FormatUint(epoch, 10)
+	v, sharedFlight, err := pc.flight.Do(ctx, flightKey, func() (any, error) {
 		// Re-check under flight leadership: a previous leader may have
 		// finished between this caller's lookup and its leadership.
-		if p, ok := pc.lookup(key); ok {
+		if p, ok := pc.lookupAt(key, epoch); ok {
 			return p, nil
 		}
 		p, err := build()
@@ -133,7 +173,7 @@ func (pc *PlanCache) GetOrBuild(ctx context.Context, key string, build func() (*
 		if err != nil {
 			return nil, err
 		}
-		pc.put(key, p)
+		pc.put(key, p, epoch)
 		return p, nil
 	})
 	if err != nil {
@@ -145,56 +185,142 @@ func (pc *PlanCache) GetOrBuild(ctx context.Context, key string, build func() (*
 		pc.hits++
 		pc.mu.Unlock()
 	}
-	return v.(*Plan), sharedFlight, nil //maprat:allow(clonecheck) GetOrBuild is the plan cache's own API; Plan is immutable by contract and documented above
+	return v.(*Plan), sharedFlight, nil //maprat:allow(clonecheck) GetOrBuildAt is the plan cache's own API; Plan is immutable by contract and documented above
 }
 
-// lookup returns the cached plan for key, counting and marking a hit
-// most recently used. Misses are not counted here — GetOrBuild charges
-// them to the caller whose build actually ran.
-func (pc *PlanCache) lookup(key string) (*Plan, bool) {
+// lookupAt returns the cached plan version valid at epoch, counting and
+// marking a hit most recently used. Misses are not counted here —
+// GetOrBuildAt charges them to the caller whose build actually ran.
+func (pc *PlanCache) lookupAt(key string, epoch uint64) (*Plan, bool) {
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
-	if el, ok := pc.items[key]; ok {
-		pc.ll.MoveToFront(el)
-		pc.hits++
-		return el.Value.(*planEntry).plan, true
+	for _, el := range pc.versions[key] {
+		e := el.Value.(*planEntry)
+		if e.validAt(epoch) {
+			pc.ll.MoveToFront(el)
+			pc.hits++
+			return e.plan, true
+		}
 	}
 	return nil, false
 }
 
-// put stores a plan, evicting least-recently-used plans until the tuple
-// budget holds. A plan that alone exceeds the budget is served uncached
-// rather than wiping the whole tier for one query.
-func (pc *PlanCache) put(key string, p *Plan) {
+// put stores a plan built as of buildEpoch, evicting least-recently-used
+// versions until the tuple budget holds. The entry is stored live when
+// the build's epoch is still current, and sealed to the single epoch
+// [buildEpoch, buildEpoch] when an append advanced the cache while the
+// build ran — the builder saw the old watermark, so its plan must not
+// serve later epochs. A plan that alone exceeds the budget is served
+// uncached rather than wiping the whole tier for one query.
+func (pc *PlanCache) put(key string, p *Plan, buildEpoch uint64) {
 	cost := p.Cost()
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
 	if cost > pc.maxTuples {
 		return
 	}
-	if el, ok := pc.items[key]; ok {
-		e := el.Value.(*planEntry)
-		pc.tuples -= e.plan.Cost()
-		e.plan = p
-		pc.ll.MoveToFront(el)
-	} else {
-		pc.items[key] = pc.ll.PushFront(&planEntry{key: key, plan: p})
+	hi := uint64(0)
+	if buildEpoch < pc.epoch {
+		hi = buildEpoch
 	}
+	entry := &planEntry{key: key, plan: p, lo: buildEpoch, hi: hi}
+	for _, el := range pc.versions[key] {
+		e := el.Value.(*planEntry)
+		if e.lo == buildEpoch && e.hi == hi {
+			// A concurrent fetch of the same version raced us here;
+			// replace its plan in place.
+			pc.tuples -= e.plan.Cost()
+			e.plan = p
+			pc.ll.MoveToFront(el)
+			pc.tuples += cost
+			pc.evictLocked()
+			return
+		}
+	}
+	pc.versions[key] = append(pc.versions[key], pc.ll.PushFront(entry))
 	pc.tuples += cost
+	pc.evictLocked()
+}
+
+// evictLocked drops least-recently-used versions until the tuple budget
+// holds. Callers hold mu.
+func (pc *PlanCache) evictLocked() {
 	for pc.tuples > pc.maxTuples {
 		oldest := pc.ll.Back()
 		if oldest == nil {
 			break
 		}
-		e := oldest.Value.(*planEntry)
-		pc.ll.Remove(oldest)
-		delete(pc.items, e.key)
-		pc.tuples -= e.plan.Cost()
+		pc.removeLocked(oldest)
 		pc.evictions++
 	}
 }
 
-// Len returns the number of cached plans.
+// removeLocked unlinks one version from the LRU list and its key's
+// version chain. Callers hold mu.
+func (pc *PlanCache) removeLocked(el *list.Element) {
+	e := el.Value.(*planEntry)
+	pc.ll.Remove(el)
+	pc.tuples -= e.plan.Cost()
+	chain := pc.versions[e.key]
+	for i, cand := range chain {
+		if cand == el {
+			chain = append(chain[:i], chain[i+1:]...)
+			break
+		}
+	}
+	if len(chain) == 0 {
+		delete(pc.versions, e.key)
+	} else {
+		pc.versions[e.key] = chain
+	}
+}
+
+// Advance moves the cache to newEpoch after an append whose batch
+// touched the given sorted item IDs. Exactly the live entries whose
+// resolved item set intersects the batch are sealed at newEpoch-1 (they
+// keep serving epoch-pinned reads for their range); every other live
+// entry stays live — its item set is disjoint from the batch, so the
+// plan is byte-identical at the new epoch. The Invalidated/Surviving
+// counters record the split.
+func (pc *PlanCache) Advance(newEpoch uint64, itemIDs []int) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if newEpoch <= pc.epoch {
+		return
+	}
+	for el := pc.ll.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*planEntry)
+		if e.hi != 0 || e.lo >= newEpoch {
+			continue
+		}
+		if intersectsSorted(e.plan.ItemIDs, itemIDs) {
+			e.hi = newEpoch - 1
+			pc.invalidated++
+		} else {
+			pc.surviving++
+		}
+	}
+	pc.epoch = newEpoch
+}
+
+// intersectsSorted reports whether two ascending ID slices share an
+// element.
+func intersectsSorted(a, b []int) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the number of cached plan versions.
 func (pc *PlanCache) Len() int {
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
@@ -214,24 +340,28 @@ func (pc *PlanCache) Stats() PlanStats {
 		bytes += el.Value.(*planEntry).plan.SizeBytes()
 	}
 	return PlanStats{
-		Hits:      pc.hits,
-		Misses:    pc.misses,
-		Shared:    pc.shared,
-		Builds:    pc.builds,
-		Evictions: pc.evictions,
-		Entries:   pc.ll.Len(),
-		Tuples:    pc.tuples,
-		MaxTuples: pc.maxTuples,
-		Bytes:     bytes,
+		Hits:        pc.hits,
+		Misses:      pc.misses,
+		Shared:      pc.shared,
+		Builds:      pc.builds,
+		Evictions:   pc.evictions,
+		Invalidated: pc.invalidated,
+		Surviving:   pc.surviving,
+		Entries:     pc.ll.Len(),
+		Tuples:      pc.tuples,
+		MaxTuples:   pc.maxTuples,
+		Bytes:       bytes,
 	}
 }
 
-// Reset clears the cache and its counters.
+// Reset clears the cache and its counters; the epoch clock is preserved
+// so versioning stays aligned with the store.
 func (pc *PlanCache) Reset() {
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
 	pc.ll.Init()
-	pc.items = make(map[string]*list.Element)
+	pc.versions = make(map[string][]*list.Element)
 	pc.tuples = 0
 	pc.hits, pc.misses, pc.shared, pc.builds, pc.evictions = 0, 0, 0, 0, 0
+	pc.invalidated, pc.surviving = 0, 0
 }

@@ -111,7 +111,12 @@ func DefaultOptions() Options {
 	}
 }
 
-// Store is the opened, indexed dataset.
+// Store is the opened, indexed dataset plus the live-ingestion state that
+// grows it: the base log is epoch 1, and every accepted append batch
+// advances the epoch by one. All log-reading accessors take the store's
+// RW lock so reads stay consistent against a concurrent Append; the *At
+// accessors additionally pin a historical epoch by filtering to the
+// epoch's tuple watermark.
 type Store struct {
 	ds     *model.Dataset
 	tuples []cube.Tuple // all ratings joined with reviewer demographics
@@ -126,16 +131,43 @@ type Store struct {
 
 	minUnix, maxUnix int64
 
+	// mu guards the mutable log state (tuples, itemTuples, min/max, epoch,
+	// bounds, the global cube). Readers take RLock; Append takes Lock.
+	// Everything above that Append never touches (the item-attribute
+	// indexes, ds) stays lock-free: the catalog is immutable under append.
+	mu sync.RWMutex
+
+	// epoch is the current data version: 1 for the base log, +1 per
+	// accepted batch. bounds[e-1] freezes the log's extent at the end of
+	// epoch e, so any past epoch can be served exactly.
+	epoch  uint64
+	bounds []epochMark
+
 	// The global cube is enabled by Options.Precompute but built lazily:
 	// the first GlobalCube call pays for it, concurrent callers share the
-	// one build through cubeOnce.
+	// one build. Appends delta-patch it copy-on-write (see cube.Patch);
+	// cubeEpoch records the epoch the current build reflects.
 	cubeEnabled bool
 	cubeCfg     cube.Config
-	cubeOnce    sync.Once
 	globalCube  *cube.Cube
+	cubeEpoch   uint64
 
 	cache *LRU       // nil unless Options.CacheSize > 0
 	plans *PlanCache // nil unless Options.PlanCacheTuples > 0
+}
+
+// epochMark freezes the log's extent at the end of one epoch: the tuple
+// watermark (results at that epoch only see tuples[:tuples]), the time
+// range, and the batch's per-state aggregate delta feeding the browse
+// view. Marks are immutable once appended.
+type epochMark struct {
+	tuples           int
+	minUnix, maxUnix int64
+	// states is this epoch's per-state aggregate delta, indexed by state
+	// descriptor value (len = cube.Cardinality(cube.State)). The base
+	// epoch's entry is the whole-log aggregate, built lazily on first
+	// browse (see stateAggsLocked).
+	states []cube.Agg
 }
 
 // openParallelMin is the rating count below which Open joins sequentially;
@@ -185,7 +217,8 @@ func Open(ds *model.Dataset, opts Options) (*Store, error) {
 }
 
 // finishOpen runs the open-time stages that follow the join: arming the
-// lazy global cube and building the caching tiers.
+// lazy global cube, building the caching tiers, and sealing the base log
+// as epoch 1.
 func (s *Store) finishOpen(opts Options) {
 	s.cubeEnabled = opts.Precompute
 	s.cubeCfg = opts.CubeConfig
@@ -195,6 +228,10 @@ func (s *Store) finishOpen(opts Options) {
 	if opts.PlanCacheTuples > 0 {
 		s.plans = NewPlanCache(opts.PlanCacheTuples)
 	}
+	s.epoch = 1
+	// The base mark's states delta (the whole-log per-state aggregate) is
+	// built lazily by stateAggsLocked so open never pays for it.
+	s.bounds = []epochMark{{tuples: len(s.tuples), minUnix: s.minUnix, maxUnix: s.maxUnix}}
 }
 
 // Prejoined carries the open-time artifacts a snapshot already holds:
@@ -392,21 +429,87 @@ func appendUnique(xs []int, v int) []int {
 // Dataset returns the underlying dataset.
 func (s *Store) Dataset() *model.Dataset { return s.ds }
 
-// NumTuples returns the size of the joined rating log.
-func (s *Store) NumTuples() int { return len(s.tuples) }
+// NumTuples returns the size of the joined rating log at the latest epoch.
+func (s *Store) NumTuples() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.tuples)
+}
+
+// NumTuplesAt returns the size of the joined rating log as of the given
+// epoch (0 or an epoch at/beyond the current one means latest).
+func (s *Store) NumTuplesAt(epoch uint64) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.watermarkLocked(epoch)
+}
 
 // TimeRange returns the [min,max] rating timestamps in the log.
-func (s *Store) TimeRange() (int64, int64) { return s.minUnix, s.maxUnix }
+func (s *Store) TimeRange() (int64, int64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.minUnix, s.maxUnix
+}
 
-// GlobalCube returns the whole-log cube, or nil when Open ran without
-// precomputation. The cube is built on the first call (open itself never
-// pays for it); concurrent callers block on the single build and then
-// share the result.
+// TimeRangeAt returns the [min,max] rating timestamps as of the given
+// epoch; 0 means latest.
+func (s *Store) TimeRangeAt(epoch uint64) (int64, int64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	m := s.markLocked(epoch)
+	return m.minUnix, m.maxUnix
+}
+
+// CurrentEpoch returns the store's data version: 1 for the base log, +1
+// per accepted append batch.
+func (s *Store) CurrentEpoch() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.epoch
+}
+
+// markLocked resolves an epoch to its frozen extent. Callers hold mu.
+// Epoch 0 and any epoch at or beyond the current one resolve to the
+// latest mark; epoch validation (rejecting future epochs) is the mining
+// layer's job.
+func (s *Store) markLocked(epoch uint64) *epochMark {
+	if epoch == 0 || epoch >= s.epoch {
+		return &s.bounds[len(s.bounds)-1]
+	}
+	return &s.bounds[epoch-1]
+}
+
+// watermarkLocked returns the tuple count visible at an epoch.
+func (s *Store) watermarkLocked(epoch uint64) int {
+	if epoch == 0 || epoch >= s.epoch {
+		return len(s.tuples)
+	}
+	return s.bounds[epoch-1].tuples
+}
+
+// GlobalCube returns the whole-log cube at the latest epoch, or nil when
+// Open ran without precomputation. The cube is built on the first call
+// (open itself never pays for it); concurrent callers block on the
+// single build and then share the result. Appends patch it
+// copy-on-write, so a returned cube is an immutable snapshot of the
+// epoch it was obtained at — safe to read concurrently, stale after the
+// next append.
 func (s *Store) GlobalCube() *cube.Cube {
 	if !s.cubeEnabled {
 		return nil
 	}
-	s.cubeOnce.Do(func() { s.globalCube = cube.Build(s.tuples, s.cubeCfg) })
+	s.mu.RLock()
+	gc := s.globalCube
+	s.mu.RUnlock()
+	if gc != nil {
+		return gc
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.globalCube == nil {
+		s.globalCube = cube.Build(s.tuples, s.cubeCfg)
+		s.cubeEpoch = s.epoch
+	}
 	return s.globalCube
 }
 
@@ -487,22 +590,51 @@ func intersectSorted(a, b []int) []int {
 }
 
 // RatingCount returns the number of ratings an item received.
-func (s *Store) RatingCount(itemID int) int { return len(s.itemTuples[itemID]) }
+func (s *Store) RatingCount(itemID int) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.itemTuples[itemID])
+}
 
-// TuplesForItems gathers R_I: every rating tuple of the given items inside
-// the window. The result is a fresh slice; mutation is safe.
+// TuplesForItems gathers R_I at the latest epoch: every rating tuple of
+// the given items inside the window. The result is a fresh slice;
+// mutation is safe.
+func (s *Store) TuplesForItems(itemIDs []int, w TimeWindow) []cube.Tuple {
+	return s.TuplesForItemsAt(itemIDs, w, 0)
+}
+
+// TuplesForItemsAt gathers R_I as of an epoch: every rating tuple of the
+// given items inside the window whose log position is below the epoch's
+// tuple watermark. Epoch 0 (or the current epoch) is the latest view and
+// pays no filtering. The result is a fresh slice; mutation is safe.
 //
 // The window sub-ranges are resolved in a first pass so the result is
 // allocated exactly once — a whole-genre query gathers hundreds of
 // thousands of tuples, and growing by append would copy the slice ~20
-// times on the cold path.
-func (s *Store) TuplesForItems(itemIDs []int, w TimeWindow) []cube.Tuple {
+// times on the cold path. For a pinned epoch the count pass additionally
+// walks the sub-range to count surviving indices: per-item lists are
+// time-sorted, not log-ordered, so the watermark cut is a filter rather
+// than a prefix.
+func (s *Store) TuplesForItemsAt(itemIDs []int, w TimeWindow, epoch uint64) []cube.Tuple {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	mark := s.watermarkLocked(epoch)
+	latest := mark == len(s.tuples)
 	bounds := make([][2]int, len(itemIDs))
 	total := 0
 	for i, id := range itemIDs {
-		lo, hi := windowBounds(s.tuples, s.itemTuples[id], w)
+		idxs := s.itemTuples[id]
+		lo, hi := windowBounds(s.tuples, idxs, w)
 		bounds[i] = [2]int{lo, hi}
-		total += hi - lo
+		if latest {
+			total += hi - lo
+			continue
+		}
+		for _, ti := range idxs[lo:hi] {
+			if int(ti) < mark {
+				total++
+			}
+		}
 	}
 	if total == 0 {
 		return nil
@@ -511,6 +643,9 @@ func (s *Store) TuplesForItems(itemIDs []int, w TimeWindow) []cube.Tuple {
 	for i, id := range itemIDs {
 		idxs := s.itemTuples[id]
 		for _, ti := range idxs[bounds[i][0]:bounds[i][1]] {
+			if !latest && int(ti) >= mark {
+				continue
+			}
 			out = append(out, s.tuples[ti])
 		}
 	}
@@ -537,6 +672,8 @@ func windowBounds(tuples []cube.Tuple, idxs []int32, w TimeWindow) (int, int) {
 // ItemAgg returns the aggregate rating statistics for one item inside the
 // window (the single overall value the paper argues is insufficient).
 func (s *Store) ItemAgg(itemID int, w TimeWindow) cube.Agg {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	var agg cube.Agg
 	idxs := s.itemTuples[itemID]
 	lo, hi := windowBounds(s.tuples, idxs, w)
@@ -544,4 +681,59 @@ func (s *Store) ItemAgg(itemID int, w TimeWindow) cube.Agg {
 		agg.Add(s.tuples[ti].Score)
 	}
 	return agg
+}
+
+// StateAggsAt returns the per-state rating aggregates as of an epoch
+// (index = state descriptor value), along with the minimum support a
+// state must reach to surface in browse mode. ok is false when the store
+// was opened without precomputation — browse statistics are an opt-in
+// tier. Epoch 0 means latest. The result is a fresh slice.
+//
+// At the base epoch this is exactly the set of state-only groups the
+// global cube surfaces (same aggregates, same MinSupport cut); at later
+// epochs it folds in each batch's delta, so pinned browse reads are
+// exact at every epoch.
+func (s *Store) StateAggsAt(epoch uint64) (aggs []cube.Agg, minSupport int, ok bool) {
+	if !s.cubeEnabled {
+		return nil, 0, false
+	}
+	s.ensureBaseStates()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]cube.Agg, cube.Cardinality(cube.State))
+	copy(out, s.bounds[0].states)
+	last := s.epoch
+	if epoch != 0 && epoch < last {
+		last = epoch
+	}
+	for e := uint64(2); e <= last; e++ {
+		for i, d := range s.bounds[e-1].states {
+			out[i].Merge(d)
+		}
+	}
+	return out, s.cubeCfg.MinSupport, true
+}
+
+// ensureBaseStates lazily builds the base epoch's whole-log per-state
+// aggregate with double-checked locking.
+func (s *Store) ensureBaseStates() {
+	s.mu.RLock()
+	built := s.bounds[0].states != nil
+	s.mu.RUnlock()
+	if built {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.bounds[0].states != nil {
+		return
+	}
+	states := make([]cube.Agg, cube.Cardinality(cube.State))
+	for i := range s.bounds[0].tuples {
+		t := &s.tuples[i]
+		if st := t.Vals[cube.State]; st != cube.Wildcard {
+			states[st].Add(t.Score)
+		}
+	}
+	s.bounds[0].states = states
 }

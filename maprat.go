@@ -125,6 +125,10 @@ type Engine struct {
 	fpOnce sync.Once
 	fp     uint64
 
+	// ingest is the live-append state (WAL, writer admission, counters);
+	// nil until EnableIngest arms the write path.
+	ingest *ingestState
+
 	// closer releases the open path's resources — the snapshot mapping
 	// for a snapshot-opened engine, nil otherwise.
 	closer interface{ Close() error }
@@ -190,16 +194,24 @@ func OpenSnapshot(path string, opts *Options) (*Engine, error) {
 }
 
 // Close releases resources held by the engine's open path — the mapped
-// snapshot file for a snapshot-opened engine. The engine (including any
-// slices handed out by its store) must not be used afterwards. Engines
-// opened over in-memory datasets close to a no-op. Close is idempotent.
+// snapshot file for a snapshot-opened engine and the ingest WAL when the
+// write path was enabled. The engine (including any slices handed out by
+// its store) must not be used afterwards. Engines opened over in-memory
+// datasets close to a no-op. Close is idempotent.
 func (e *Engine) Close() error {
+	var err error
+	if ig := e.ingest; ig != nil {
+		e.ingest = nil
+		err = ig.wal.Close()
+	}
 	c := e.closer
 	e.closer = nil
 	if c != nil {
-		return c.Close()
+		if cerr := c.Close(); err == nil {
+			err = cerr
+		}
 	}
-	return nil
+	return err
 }
 
 // Store exposes the underlying store for advanced callers (benchmarks,
@@ -357,9 +369,25 @@ func (e *Engine) ExplainContext(ctx context.Context, req ExplainRequest) (*Expla
 	if len(req.Tasks) == 0 {
 		req.Tasks = []Task{SimilarityMining, DiversityMining}
 	}
+	// The resolved epoch is an internal coordinate — cache keys, plan
+	// versions and tuple gathers all use it — but the returned
+	// Explanation echoes the epoch the caller asked for, so a serving
+	// tier without an epoch clock (the scatter-gather coordinator
+	// assembles plans itself) stays byte-identical to a single node.
+	reqEpoch := req.Query.Epoch
+	q, err := e.pinQuery(req.Query)
+	if err != nil {
+		return nil, err
+	}
+	req.Query = q
 
 	if req.DisableCache || e.st.Cache() == nil {
-		return e.explainUncached(ctx, req, start)
+		ex, err := e.explainUncached(ctx, req, start)
+		if err != nil {
+			return nil, err
+		}
+		ex.Query.Epoch = reqEpoch
+		return ex, nil
 	}
 
 	cacheKey := e.cacheKey(req)
@@ -367,6 +395,7 @@ func (e *Engine) ExplainContext(ctx context.Context, req ExplainRequest) (*Expla
 		hit := v.(*Explanation).Clone()
 		hit.FromCache = true
 		hit.Elapsed = time.Since(start)
+		hit.Query.Epoch = reqEpoch
 		return hit, nil
 	}
 	v, shared, err := e.flight.Do(ctx, cacheKey, func() (any, error) {
@@ -387,6 +416,7 @@ func (e *Engine) ExplainContext(ctx context.Context, req ExplainRequest) (*Expla
 	// the caller's perspective that is a cache hit.
 	ex.FromCache = shared
 	ex.Elapsed = time.Since(start)
+	ex.Query.Epoch = reqEpoch
 	return ex, nil
 }
 
@@ -487,7 +517,9 @@ func PlanKey(q Query, cfg cube.Config) string {
 }
 
 // buildPlan runs the §2.3 pre-mining pipeline from scratch: resolve the
-// query to items, gather R_I, build the candidate cube over it.
+// query to items, gather R_I as of the query's (resolved) epoch, build
+// the candidate cube over it. Item resolution is epoch-independent — the
+// catalog is immutable under append; only the rating gather is pinned.
 func (e *Engine) buildPlan(q Query, base cube.Config) (*store.Plan, error) {
 	ids, err := query.Resolve(e.st, q)
 	if err != nil {
@@ -496,7 +528,7 @@ func (e *Engine) buildPlan(q Query, base cube.Config) (*store.Plan, error) {
 	if len(ids) == 0 {
 		return nil, ErrNoItems
 	}
-	tuples := e.st.TuplesForItems(ids, q.Window)
+	tuples := e.st.TuplesForItemsAt(ids, q.Window, q.Epoch)
 	if len(tuples) == 0 {
 		return nil, ErrNoRatings
 	}
@@ -518,11 +550,17 @@ func (e *Engine) buildPlan(q Query, base cube.Config) (*store.Plan, error) {
 // Explain performs zero query resolution and zero cube builds. With the
 // tier disabled the plan is built fresh.
 func (e *Engine) planFor(ctx context.Context, q Query, base cube.Config) (*store.Plan, error) {
+	if q.Epoch == 0 {
+		q.Epoch = e.st.CurrentEpoch()
+	}
 	pc := e.st.Plans()
 	if pc == nil {
 		return e.buildPlan(q, base)
 	}
-	p, _, err := pc.GetOrBuild(ctx, PlanKey(q, base), func() (*store.Plan, error) {
+	// The key is epoch-free (Query.String() excludes Epoch); the tier
+	// versions entries by epoch range underneath it, so an append seals
+	// only the plans whose item sets the batch touched.
+	p, _, err := pc.GetOrBuildAt(ctx, PlanKey(q, base), q.Epoch, func() (*store.Plan, error) {
 		return e.buildPlan(q, base)
 	})
 	return p, err //maprat:allow(clonecheck) store.Plan is immutable by contract (see the Plan doc); consumers only read, so the shared pointer is safe
@@ -544,19 +582,46 @@ func (e *Engine) PlanStats() store.PlanStats {
 func (e *Engine) MineCount() uint64 { return e.mines.Load() }
 
 // Fingerprint returns a stable 64-bit hash identifying the opened
-// dataset: the entity counts, the rating time range, and a strided
-// sample of the rating log itself. Two engines opened over the same data
-// agree on it; any edit to the log (new ratings, different scores,
-// reordered load) almost surely changes it. Seeded mining is a pure
-// function of (dataset, request), so the HTTP layer folds the
-// fingerprint into its ETags: a tag stays valid exactly as long as the
-// data underneath it does.
+// dataset AT ITS CURRENT EPOCH: the base-log fingerprint (entity counts,
+// rating time range, a strided sample of the log) mixed with the current
+// epoch when appends have grown the data. Two engines opened over the
+// same data agree on it; any edit to the log (new ratings, different
+// scores, reordered load) almost surely changes it, and every accepted
+// append batch rolls it. Seeded mining is a pure function of (dataset,
+// epoch, request), so the HTTP layer folds the fingerprint into its
+// ETags: a tag stays valid exactly as long as the data underneath it
+// does — an append immediately invalidates previously issued 304s.
 func (e *Engine) Fingerprint() uint64 {
+	return e.FingerprintAt(e.st.CurrentEpoch())
+}
+
+// FingerprintAt is the fingerprint of one epoch's view of the data. The
+// base epoch's value is the plain dataset fingerprint — identical
+// whether the engine was opened from text or from a snapshot, and
+// identical to the value before ingestion existed; later epochs mix the
+// epoch in, so every epoch's ETags are distinct and a pinned read's tag
+// stays stable across later appends.
+func (e *Engine) FingerprintAt(epoch uint64) uint64 {
 	e.fpOnce.Do(func() {
 		lo, hi := e.st.TimeRange()
 		e.fp = model.Fingerprint(e.st.Dataset(), lo, hi)
 	})
-	return e.fp
+	if epoch <= 1 {
+		return e.fp
+	}
+	return mixFP(e.fp, epoch)
+}
+
+// mixFP folds an epoch into the base fingerprint (a splitmix64-style
+// finalizer, so adjacent epochs land far apart).
+func mixFP(fp, epoch uint64) uint64 {
+	x := fp ^ (epoch * 0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
 }
 
 // AdaptCubeConfig scales a cube config's MinSupport down for small tuple
@@ -645,9 +710,13 @@ func (e *Engine) cacheKey(req ExplainRequest) string {
 		cubeCfg = *req.CubeConfig
 	}
 	// Every result-affecting setting participates; Workers is left out on
-	// purpose — it is result-neutral by construction.
-	return fmt.Sprintf("explain|%s|k=%d|a=%.3f|l=%.2f|sb=%.2f|p=%v|seed=%d|r=%d|mi=%d|ss=%d|tasks=%v|relax=%v|cube=%+v",
-		req.Query.String(), req.Settings.K, req.Settings.Coverage,
+	// purpose — it is result-neutral by construction. The epoch rides
+	// outside Query.String(): callers resolve it before keying, so a
+	// pinned read at the current epoch and a latest read share an entry,
+	// and entries for old epochs stay valid forever (results are pure
+	// functions of (query, epoch)).
+	return fmt.Sprintf("explain|%s|e=%d|k=%d|a=%.3f|l=%.2f|sb=%.2f|p=%v|seed=%d|r=%d|mi=%d|ss=%d|tasks=%v|relax=%v|cube=%+v",
+		req.Query.String(), req.Query.Epoch, req.Settings.K, req.Settings.Coverage,
 		req.Settings.Lambda, req.Settings.SiblingBoost, req.Settings.Profile,
 		req.Settings.Seed, req.Settings.Restarts, req.Settings.MaxIters,
 		req.Settings.SampleSize, req.Tasks, !req.DisableRelax, cubeCfg)
@@ -701,6 +770,10 @@ func (e *Engine) ExploreFull(q Query, key Key, buckets, refineLimit int) (*Group
 // handlers consume this one call.
 func (e *Engine) ExploreFullContext(ctx context.Context, q Query, key Key, buckets, refineLimit int) (*GroupExploration, error) {
 	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	q, err := e.pinQuery(q)
+	if err != nil {
 		return nil, err
 	}
 	p, err := e.planFor(ctx, q, e.groupCubeConfig(key))
@@ -775,6 +848,10 @@ func (e *Engine) RefineGroupContext(ctx context.Context, q Query, key Key, limit
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	q, err := e.pinQuery(q)
+	if err != nil {
+		return nil, err
+	}
 	p, err := e.planFor(ctx, q, e.groupCubeConfig(key))
 	if err != nil {
 		return nil, err
@@ -811,6 +888,10 @@ func (e *Engine) DrillMineContext(ctx context.Context, q Query, parent Key, task
 		s = DefaultSettings()
 	}
 	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	q, err := e.pinQuery(q)
+	if err != nil {
 		return nil, err
 	}
 	p, err := e.planFor(ctx, q, e.groupCubeConfig(parent))
@@ -869,28 +950,46 @@ func DrillPlan(ctx context.Context, p *store.Plan, q Query, parent Key, task Tas
 }
 
 // StateOverview is one row of the browse-mode choropleth: a state's
-// overall rating behaviour across the whole log (computed from the
-// precomputed global cube, so it is O(states)).
+// overall rating behaviour across the whole log (served from the store's
+// per-epoch state aggregates, so it is O(states · epochs) and exact at
+// every epoch).
 type StateOverview struct {
 	State string
 	Agg   Agg
 }
 
-// BrowseStates returns every state's whole-log aggregate, sorted by
-// rating count descending. It requires the store to have been opened with
-// precomputation (the default); otherwise it returns nil.
+// BrowseStates returns every state's whole-log aggregate at the latest
+// epoch, sorted by rating count descending. It requires the store to
+// have been opened with precomputation (the default); otherwise it
+// returns nil.
 func (e *Engine) BrowseStates() []StateOverview {
-	gc := e.st.GlobalCube()
-	if gc == nil {
+	out, err := e.BrowseStatesAt(0)
+	if err != nil {
 		return nil
 	}
+	return out
+}
+
+// BrowseStatesAt is BrowseStates pinned to an epoch (0 = latest). The
+// rows are exactly the state-only groups the global cube would surface
+// at that epoch: same aggregates, same minimum-support cut. A future
+// epoch is ErrFutureEpoch; a store opened without precomputation yields
+// (nil, nil), matching BrowseStates.
+func (e *Engine) BrowseStatesAt(epoch uint64) ([]StateOverview, error) {
+	ep, err := e.resolveEpoch(epoch)
+	if err != nil {
+		return nil, err
+	}
+	aggs, minSupport, ok := e.st.StateAggsAt(ep)
+	if !ok {
+		return nil, nil
+	}
 	var out []StateOverview
-	for i := range gc.Groups {
-		g := &gc.Groups[i]
-		if g.Key.NumConstrained() != 1 || !g.Key.Has(cube.State) {
+	for i, a := range aggs {
+		if a.Count == 0 || a.Count < minSupport {
 			continue
 		}
-		out = append(out, StateOverview{State: cube.StateCode(g.Key[cube.State]), Agg: g.Agg})
+		out = append(out, StateOverview{State: cube.StateCode(int16(i)), Agg: a})
 	}
 	sort.Slice(out, func(a, b int) bool {
 		if out[a].Agg.Count != out[b].Agg.Count {
@@ -898,7 +997,7 @@ func (e *Engine) BrowseStates() []StateOverview {
 		}
 		return out[a].State < out[b].State
 	})
-	return out
+	return out, nil
 }
 
 // EvolutionPoint is one time-slider position: the explanation mined from
@@ -920,9 +1019,21 @@ func (e *Engine) Evolution(req ExplainRequest) ([]EvolutionPoint, error) {
 }
 
 // EvolutionContext is Evolution with cancellation: the sweep stops at the
-// first window whose mining run is cut short by ctx.
+// first window whose mining run is cut short by ctx. The window sweep is
+// anchored at the query's (resolved) epoch: at the latest epoch a batch
+// of fresh ratings extends the time range, so the sweep gains a live
+// window covering the newest data, while a pinned epoch replays exactly
+// the windows that epoch had.
 func (e *Engine) EvolutionContext(ctx context.Context, req ExplainRequest) ([]EvolutionPoint, error) {
-	lo, hi := e.st.TimeRange()
+	// Resolve the epoch for the window sweep's bounds, but forward the
+	// request's own (possibly 0 = latest) epoch to each window's
+	// Explain — the per-point Explanations echo the caller's epoch, and
+	// the inner ExplainContext re-pins to the same resolved value.
+	q, err := e.pinQuery(req.Query)
+	if err != nil {
+		return nil, err
+	}
+	lo, hi := e.st.TimeRangeAt(q.Epoch)
 	w := req.Query.Window
 	if w.BoundedFrom() {
 		lo = w.From

@@ -60,6 +60,10 @@ type (
 	JobStatus = api.JobStatus
 	// JobProgress is a job's latest restart progress.
 	JobProgress = api.JobProgress
+	// RatingInput is one rating of an append batch.
+	RatingInput = api.RatingInput
+	// AppendResponse is the /api/v1/ratings payload: the assigned epoch.
+	AppendResponse = api.AppendResponse
 )
 
 // APIError is a structured failure from the server: the HTTP status plus
@@ -309,6 +313,36 @@ func (c *Client) Evolution(ctx context.Context, p Params) (*EvolutionResponse, e
 func (c *Client) Browse(ctx context.Context) (*BrowseResponse, error) {
 	var out BrowseResponse
 	if err := c.do(ctx, http.MethodGet, "/api/v1/browse", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// BrowseAt fetches the per-state choropleth pinned at an epoch (0 =
+// latest): the payload is byte-identical no matter how many batches were
+// appended after that epoch.
+func (c *Client) BrowseAt(ctx context.Context, epoch uint64) (*BrowseResponse, error) {
+	path := "/api/v1/browse"
+	if epoch != 0 {
+		path += "?epoch=" + strconv.FormatUint(epoch, 10)
+	}
+	var out BrowseResponse
+	if err := c.do(ctx, http.MethodGet, path, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// AppendRatings appends one batch of new ratings and returns the epoch
+// the server accepted it at. dataset selects the mounted dataset ("" =
+// default). The batch is all-or-nothing and WAL-durable before the
+// server answers. A queue-full 429 retries within the client's retry
+// budget honoring the server's Retry-After — safe, because admission
+// rejections happen before the batch is logged.
+func (c *Client) AppendRatings(ctx context.Context, dataset string, ratings []RatingInput) (*AppendResponse, error) {
+	var out AppendResponse
+	req := api.AppendRequest{Dataset: dataset, Ratings: ratings}
+	if err := c.post(ctx, "/api/v1/ratings", req, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
