@@ -57,7 +57,19 @@ type WAL struct {
 	f    *os.File
 	path string
 	size atomic.Int64
+	// poisoned is set when a failed append could not be rolled back
+	// (truncate/seek to the last known-good offset failed): the file may
+	// end in partial or unsynced garbage, and writing a valid record
+	// after it would make replay stop at the garbage and silently drop
+	// the acknowledged records behind it. Every later Append fails.
+	// Only the single admitted writer touches it.
+	poisoned bool
 }
+
+// ErrPoisoned reports an Append against a WAL whose earlier failed
+// append could not be rolled back; the log must be reopened (Open
+// repairs the tail) before it can accept writes again.
+var ErrPoisoned = errors.New("ingest: wal poisoned by unrecoverable append failure; reopen to repair")
 
 // Open opens (or creates) the log at path and replays it. base is the
 // epoch of the data the log extends — the opened store's base epoch —
@@ -205,7 +217,18 @@ func decodeBatch(payload []byte) (Batch, bool) {
 
 // Append encodes, writes, and fsyncs one batch record. The record is
 // durable — and the batch may be acknowledged — when Append returns nil.
+// On a failed write or sync the record is rolled back: the file is
+// truncated to the last known-good offset so the next Append never lands
+// a valid record after partial or unsynced garbage (replay stops at the
+// first bad record, so garbage mid-log would silently discard every
+// acknowledged batch after it, and an unsynced-but-persisted record
+// would replay an unacknowledged batch at an epoch the live process
+// reassigned). If the rollback itself fails the WAL is poisoned and all
+// later appends return ErrPoisoned.
 func (w *WAL) Append(epoch uint64, ratings []model.Rating) error {
+	if w.poisoned {
+		return ErrPoisoned
+	}
 	if len(ratings) == 0 {
 		return errors.New("ingest: empty batch")
 	}
@@ -228,13 +251,34 @@ func (w *WAL) Append(epoch uint64, ratings []model.Rating) error {
 	binary.LittleEndian.PutUint32(buf[:4], uint32(payloadLen))
 	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(payload, castagnoli))
 	if _, err := w.f.Write(buf); err != nil {
+		w.rollback()
 		return fmt.Errorf("ingest: append wal record: %w", err)
 	}
 	if err := w.f.Sync(); err != nil {
+		w.rollback()
 		return fmt.Errorf("ingest: sync wal: %w", err)
 	}
 	w.size.Add(int64(len(buf)))
 	return nil
+}
+
+// rollback restores the file to the last known-good extent after a
+// failed write or sync: whatever partial or unsynced bytes the attempt
+// left are truncated away and the offset re-seeks to the good tail, so a
+// later Append writes a valid log. (A sync-failed record may have partly
+// persisted; truncating removes it either way, so a crash before the
+// next successful sync cannot replay an unacknowledged batch.) If the
+// truncate or seek fails the tail state is unknown and the WAL is
+// poisoned — no record may ever be written after a dirty tail.
+func (w *WAL) rollback() {
+	good := w.size.Load()
+	if err := w.f.Truncate(good); err != nil {
+		w.poisoned = true
+		return
+	}
+	if _, err := w.f.Seek(good, io.SeekStart); err != nil {
+		w.poisoned = true
+	}
 }
 
 // Size returns the log's current byte length (header included).

@@ -1,6 +1,7 @@
 package ingest
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -206,6 +207,78 @@ func TestWALShortHeaderReset(t *testing.T) {
 	defer w.Close()
 	if len(batches) != 0 || w.Size() != headerLen {
 		t.Fatalf("short header: %d batches, size %d", len(batches), w.Size())
+	}
+}
+
+// TestWALRollbackRestoresTail: after a failed append leaves partial
+// bytes at the tail, rollback truncates back to the last known-good
+// offset and re-seeks, so the next Append writes a valid record there —
+// replay must never stop at garbage and silently drop acknowledged
+// records written after it.
+func TestWALRollbackRestoresTail(t *testing.T) {
+	path := tempWAL(t)
+	w, _, err := Open(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2 := testBatch(3, 0)
+	if err := w.Append(2, b2); err != nil {
+		t.Fatal(err)
+	}
+	goodSize := w.Size()
+
+	// Simulate a failed append's partial write: garbage lands at the
+	// tail and the file offset moves past it.
+	if _, err := w.f.Write([]byte{0xDE, 0xAD, 0xBE, 0xEF, 0x01}); err != nil {
+		t.Fatal(err)
+	}
+	w.rollback()
+	if w.poisoned {
+		t.Fatal("rollback poisoned a recoverable WAL")
+	}
+	if st, _ := os.Stat(path); st.Size() != goodSize {
+		t.Fatalf("rollback left %d bytes, want %d", st.Size(), goodSize)
+	}
+
+	// The next Append lands at the good tail and both records replay.
+	b3 := testBatch(2, 40)
+	if err := w.Append(3, b3); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	_, batches, err := Open(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Batch{{Epoch: 2, Ratings: b2}, {Epoch: 3, Ratings: b3}}
+	if !reflect.DeepEqual(batches, want) {
+		t.Fatalf("replay after rollback = %+v, want %+v", batches, want)
+	}
+}
+
+// TestWALPoisonedAfterUnrecoverableFailure: when the rollback itself
+// fails the tail state is unknown, so every later Append must refuse
+// with ErrPoisoned rather than risk writing after a dirty tail.
+func TestWALPoisonedAfterUnrecoverableFailure(t *testing.T) {
+	path := tempWAL(t)
+	w, _, err := Open(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(2, testBatch(2, 0)); err != nil {
+		t.Fatal(err)
+	}
+	// Closing the file makes the write fail AND the rollback's truncate
+	// fail — the unrecoverable case.
+	w.f.Close()
+	if err := w.Append(3, testBatch(2, 10)); err == nil {
+		t.Fatal("append on closed file succeeded")
+	}
+	if !w.poisoned {
+		t.Fatal("failed rollback did not poison the WAL")
+	}
+	if err := w.Append(3, testBatch(2, 10)); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("append on poisoned WAL = %v, want ErrPoisoned", err)
 	}
 }
 

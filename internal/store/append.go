@@ -20,9 +20,14 @@ import (
 //   - the global cube, if already built, is delta-patched copy-on-write
 //     (see cube.Patch) — a failed patch just drops it back to lazy
 //     rebuild;
-//   - after the write lock is released, the plan cache seals exactly the
-//     live entries whose resolved item set intersects the batch;
-//     untouched plans stay warm.
+//   - before the new epoch becomes visible (still under the write lock,
+//     which orders before the s.epoch bump readers resolve "latest"
+//     from), the plan cache seals exactly the live entries whose
+//     resolved item set intersects the batch; untouched plans stay
+//     warm. Sealing first is load-bearing: if readers could resolve the
+//     new epoch while intersecting entries were still live, a stale
+//     plan would satisfy lookups at the new epoch and its wrong results
+//     would be cached under the new epoch's keys forever.
 //
 // The result cache is NOT flushed: engine cache keys include the
 // resolved epoch, so entries for earlier epochs remain valid forever and
@@ -62,7 +67,6 @@ func (s *Store) Append(epoch uint64, tuples []cube.Tuple) error {
 		maxUnix: s.maxUnix,
 		states:  states,
 	})
-	s.epoch = epoch
 
 	if s.globalCube != nil {
 		if patched, ok := s.globalCube.Patch(s.tuples, base); ok {
@@ -76,16 +80,21 @@ func (s *Store) Append(epoch uint64, tuples []cube.Tuple) error {
 		}
 	}
 
-	ids := make([]int, 0, len(items))
-	for id := range items {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	s.mu.Unlock()
-
+	// Seal intersecting plan-cache entries BEFORE publishing the epoch:
+	// readers resolve "latest" from s.epoch under the read lock, so no
+	// read can see the new epoch until after Advance has sealed every
+	// stale entry. Advance only takes the plan cache's own mutex and
+	// plan builds never run under it, so holding s.mu here is safe.
 	if s.plans != nil {
+		ids := make([]int, 0, len(items))
+		for id := range items {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
 		s.plans.Advance(epoch, ids)
 	}
+	s.epoch = epoch
+	s.mu.Unlock()
 	return nil
 }
 

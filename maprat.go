@@ -1025,10 +1025,14 @@ func (e *Engine) Evolution(req ExplainRequest) ([]EvolutionPoint, error) {
 // window covering the newest data, while a pinned epoch replays exactly
 // the windows that epoch had.
 func (e *Engine) EvolutionContext(ctx context.Context, req ExplainRequest) ([]EvolutionPoint, error) {
-	// Resolve the epoch for the window sweep's bounds, but forward the
-	// request's own (possibly 0 = latest) epoch to each window's
-	// Explain — the per-point Explanations echo the caller's epoch, and
-	// the inner ExplainContext re-pins to the same resolved value.
+	// Resolve the epoch once and forward the resolved value to every
+	// window's Explain: if an append lands mid-sweep, re-resolving a
+	// latest (0) epoch per point would mine later windows at a newer
+	// epoch than the one the sweep's bounds came from — one response
+	// must be internally consistent at a single epoch. The per-point
+	// Explanations still echo the epoch the caller asked for, matching
+	// ExplainContext's contract.
+	origEpoch := req.Query.Epoch
 	q, err := e.pinQuery(req.Query)
 	if err != nil {
 		return nil, err
@@ -1051,8 +1055,12 @@ func (e *Engine) EvolutionContext(ctx context.Context, req ExplainRequest) ([]Ev
 			return out, err
 		}
 		r := req
+		r.Query = q
 		r.Query.Window = win
 		ex, err := e.ExplainContext(ctx, r)
+		if ex != nil {
+			ex.Query.Epoch = origEpoch
+		}
 		out = append(out, EvolutionPoint{Window: win, Explanation: ex, Err: err})
 	}
 	return out, nil
